@@ -1,0 +1,28 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppsim::bench {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+std::vector<int> ring_sweep(int max_n) {
+  const int cap = env_int("PPSIM_MAX_N", max_n);
+  std::vector<int> ns;
+  for (int n = 8; n <= cap; n *= 2) ns.push_back(n);
+  return ns;
+}
+
+void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace ppsim::bench

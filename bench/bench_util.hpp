@@ -1,0 +1,20 @@
+// Shared helpers for the table/figure bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppsim::bench {
+
+/// Environment-variable override with a default (PPSIM_TRIALS etc.).
+[[nodiscard]] int env_int(const char* name, int fallback);
+
+/// Standard ring-size sweep for convergence experiments, capped by
+/// PPSIM_MAX_N (default `max_n`).
+[[nodiscard]] std::vector<int> ring_sweep(int max_n);
+
+/// Header banner printed by every harness.
+void banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace ppsim::bench

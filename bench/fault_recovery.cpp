@@ -1,0 +1,49 @@
+// E12 — self-stabilization as an operator sees it: corrupt f agents of a
+// converged system, measure recovery time to S_PL.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+#include "pl/safe_config.hpp"
+
+int main() {
+  using namespace ppsim;
+  bench::banner("Fault recovery", "the self-stabilization guarantee "
+                                  "(Def. 2.1) from post-fault states");
+
+  const int trials = bench::env_int("PPSIM_TRIALS", 9);
+  const int c1 = bench::env_int("PPSIM_C1", 4);
+  const int n = bench::env_int("PPSIM_N", 64);
+  const auto p = pl::PlParams::make(n, c1);
+  const auto n_u = static_cast<std::uint64_t>(n);
+
+  core::Table t({"faults f", "median recovery steps", "mean", "p90",
+                 "/(n^2 lg n)"});
+  for (int f : {1, 2, 4, 8, 16, 32, n}) {
+    if (f > n) continue;
+    analysis::ScalingPoint pt{n, {}};
+    pt.stats = analysis::measure_convergence<pl::PlProtocol>(
+        p,
+        [&](core::Xoshiro256pp& rng) {
+          auto c = pl::make_safe_config(p, static_cast<int>(rng.bounded(n)));
+          pl::corrupt(c, p, f, rng);
+          return c;
+        },
+        pl::SafePredicate{}, trials, 60'000ULL * n_u * n_u + 60'000'000ULL,
+        41, static_cast<unsigned>(f));
+    t.add_row({core::fmt_u64(static_cast<unsigned long long>(f)),
+               core::fmt_double(pt.stats.steps.median, 4),
+               core::fmt_double(pt.stats.steps.mean, 4),
+               core::fmt_double(pt.stats.steps.p90, 4),
+               core::fmt_double(analysis::normalized_n2logn(pt), 3)});
+  }
+  std::printf("\n(n = %d; note: even f = 1 can delete the unique leader and "
+              "force a full\ndetection+creation cycle, so recovery is not "
+              "proportional to f)\n\n", n);
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E11 — engineering micro-benchmarks (google-benchmark): interactions per
+// second of each protocol's transition in the simulation hot loop, plus the
+// cost of the S_PL safety predicate.
+#include <benchmark/benchmark.h>
+
+#include "baselines/fischer_jiang.hpp"
+#include "baselines/modk.hpp"
+#include "baselines/yokota28.hpp"
+#include "core/runner.hpp"
+#include "orientation/por.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+#include "pl/safe_config.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+void BM_PlSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = pl::PlParams::make(n, 4);
+  core::Runner<pl::PlProtocol> run(p, pl::make_safe_config(p), 1);
+  for (auto _ : state) {
+    run.run(1024);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PlSteps)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Yokota28Steps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = baselines::Y28Params::make(n);
+  core::Xoshiro256pp rng(1);
+  core::Runner<baselines::Yokota28> run(
+      p, baselines::y28_random_config(p, rng), 1);
+  for (auto _ : state) run.run(1024);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Yokota28Steps)->Arg(1024);
+
+void BM_FischerJiangSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = baselines::FjParams::make(n);
+  core::Xoshiro256pp rng(1);
+  core::Runner<baselines::FischerJiang> run(
+      p, baselines::fj_random_config(p, rng), 1);
+  for (auto _ : state) run.run(1024);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FischerJiangSteps)->Arg(1024);
+
+void BM_ModkSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = baselines::ModkParams::make(n, 2);
+  core::Xoshiro256pp rng(1);
+  core::Runner<baselines::Modk> run(p, baselines::modk_random_config(p, rng),
+                                    1);
+  for (auto _ : state) run.run(1024);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ModkSteps)->Arg(1025);
+
+void BM_PorSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = orient::OrParams::make(n);
+  core::Xoshiro256pp rng(1);
+  core::Runner<orient::Por> run(p, orient::or_config(p, rng, true), 1);
+  for (auto _ : state) run.run(1024);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PorSteps)->Arg(1024);
+
+void BM_SafetyPredicate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = pl::PlParams::make(n, 4);
+  const auto c = pl::make_safe_config(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pl::is_safe(c, p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SafetyPredicate)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RngBounded(benchmark::State& state) {
+  core::Xoshiro256pp rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng.bounded(1024);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngBounded);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// E2 — Theorem 3.1: P_PL reaches S_PL within O(n^2 log n) steps.
+//
+// Median/p90 hitting times over a ring-size sweep, printed with three
+// normalizations: /(n^2 lg n) should flatten; /n^2 should grow ~ lg n; /n^3
+// should vanish. The fitted exponent should land slightly above 2.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+
+int main() {
+  using namespace ppsim;
+  bench::banner("Theorem 3.1 — P_PL convergence scaling",
+                "Theorem 3.1 (O(n^2 log n) steps w.h.p. and in expectation)");
+
+  const int trials = bench::env_int("PPSIM_TRIALS", 7);
+  const int c1 = bench::env_int("PPSIM_C1", 4);
+  const auto ns = bench::ring_sweep(512);
+
+  std::vector<analysis::ScalingPoint> points;
+  core::Table t({"n", "median", "mean", "p90", "max", "/(n^2 lg n)", "/n^2",
+                 "/n^3", "fails"});
+  for (int n : ns) {
+    const auto p = pl::PlParams::make(n, c1);
+    const auto n_u = static_cast<std::uint64_t>(n);
+    analysis::ScalingPoint pt;
+    pt.n = n;
+    pt.stats = analysis::measure_convergence<pl::PlProtocol>(
+        p,
+        [&](core::Xoshiro256pp& rng) { return pl::random_config(p, rng); },
+        pl::SafePredicate{}, trials,
+        40'000ULL * n_u * n_u + 50'000'000ULL, 7, static_cast<unsigned>(n));
+    points.push_back(pt);
+    t.add_row({core::fmt_u64(n_u), core::fmt_double(pt.stats.steps.median, 4),
+               core::fmt_double(pt.stats.steps.mean, 4),
+               core::fmt_double(pt.stats.steps.p90, 4),
+               core::fmt_double(pt.stats.steps.max, 4),
+               core::fmt_double(analysis::normalized_n2logn(pt), 3),
+               core::fmt_double(analysis::normalized_n2(pt), 3),
+               core::fmt_double(analysis::normalized_n3(pt), 4),
+               core::fmt_u64(static_cast<unsigned long long>(
+                   pt.stats.failures))});
+  }
+  t.print(std::cout);
+  const auto fit = analysis::fit_median_scaling(points);
+  std::printf(
+      "\nfitted: median steps ~ %.3g * n^%.2f (r2 = %.3f)\n"
+      "expected shape: exponent slightly above 2 (n^2 times a log factor),\n"
+      "flat /(n^2 lg n) column, shrinking /n^3 column.\n",
+      fit.constant, fit.exponent, fit.r2);
+  return 0;
+}

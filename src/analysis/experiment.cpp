@@ -1,0 +1,32 @@
+#include "analysis/experiment.hpp"
+
+#include <cmath>
+
+namespace ppsim::analysis {
+
+core::PowerFit fit_median_scaling(const std::vector<ScalingPoint>& points) {
+  std::vector<double> x, y;
+  for (const ScalingPoint& p : points) {
+    if (p.stats.raw.empty()) continue;
+    x.push_back(static_cast<double>(p.n));
+    y.push_back(p.stats.steps.median);
+  }
+  return core::fit_power(x, y);
+}
+
+double normalized_n2logn(const ScalingPoint& p) {
+  const double n = p.n;
+  return p.stats.steps.median / (n * n * std::log2(n));
+}
+
+double normalized_n2(const ScalingPoint& p) {
+  const double n = p.n;
+  return p.stats.steps.median / (n * n);
+}
+
+double normalized_n3(const ScalingPoint& p) {
+  const double n = p.n;
+  return p.stats.steps.median / (n * n * n);
+}
+
+}  // namespace ppsim::analysis

@@ -1,0 +1,66 @@
+// Experiment driver: repeated-trial convergence measurement with decorrelated
+// seeds, used by every bench harness and the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/runner.hpp"
+#include "core/statistics.hpp"
+
+namespace ppsim::analysis {
+
+struct ConvergenceStats {
+  int trials = 0;
+  int failures = 0;  ///< trials that did not converge within max_steps
+  core::Summary steps;
+  std::vector<std::uint64_t> raw;
+};
+
+/// Run `trials` executions of protocol P from configurations produced by
+/// `gen(rng)` until `pred(agents, params)` holds (checked every ~n steps),
+/// collecting hitting times. Trials exceeding `max_steps` count as failures
+/// and are excluded from the summary.
+template <typename P, typename ConfigGen, typename Pred>
+[[nodiscard]] ConvergenceStats measure_convergence(
+    const typename P::Params& params, ConfigGen&& gen, Pred&& pred,
+    int trials, std::uint64_t max_steps, std::uint64_t seed_base,
+    std::uint64_t tag) {
+  ConvergenceStats out;
+  out.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed =
+        core::derive_seed(seed_base, tag, static_cast<std::uint64_t>(t));
+    core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
+    core::Runner<P> runner(params, gen(cfg_rng), seed);
+    const auto hit = runner.run_until(pred, max_steps);
+    if (hit.has_value()) {
+      out.raw.push_back(*hit);
+    } else {
+      ++out.failures;
+    }
+  }
+  out.steps = core::summarize_u64(out.raw);
+  return out;
+}
+
+/// One (n, statistics) point of a scaling sweep.
+struct ScalingPoint {
+  int n = 0;
+  ConvergenceStats stats;
+};
+
+/// Fits median hitting time ~ c * n^e over the sweep (failures excluded).
+[[nodiscard]] core::PowerFit fit_median_scaling(
+    const std::vector<ScalingPoint>& points);
+
+/// median / (n^2 * log2 n) — the paper's Theorem-3.1 normalization.
+[[nodiscard]] double normalized_n2logn(const ScalingPoint& point);
+/// median / n^2 and median / n^3 (the neighboring normalizations).
+[[nodiscard]] double normalized_n2(const ScalingPoint& point);
+[[nodiscard]] double normalized_n3(const ScalingPoint& point);
+
+}  // namespace ppsim::analysis

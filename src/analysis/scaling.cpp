@@ -1,0 +1,73 @@
+#include "analysis/scaling.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/ring.hpp"
+
+namespace ppsim::analysis {
+
+StateCount pl_state_count(const pl::PlParams& p) {
+  const double psi = p.psi;
+  const double token = 1.0 + (2.0 * psi - 1.0) * 4.0;
+  const double states = 2.0 * 2.0 * (2.0 * psi) * 2.0 * token * token *
+                        (p.kappa_max + 1.0) * (psi + 1.0) *
+                        (p.kappa_max + 1.0) * 3.0 * 2.0 * 2.0;
+  return {states, std::log2(states)};
+}
+
+StateCount y28_state_count(int n, int psi_slack) {
+  const int psi =
+      std::max(2, core::ceil_log2(static_cast<std::uint64_t>(n))) + psi_slack;
+  const double cap = std::pow(2.0, psi);
+  const double states = 2.0 * cap * 3.0 * 2.0 * 2.0;
+  return {states, std::log2(states)};
+}
+
+StateCount fj_state_count() {
+  const double states = 2.0 * 3.0 * 2.0 * 2.0;
+  return {states, std::log2(states)};
+}
+
+StateCount modk_state_count(int k) {
+  const double states = 2.0 * k * 3.0 * 2.0 * 2.0;
+  return {states, std::log2(states)};
+}
+
+std::string format_state_count(const StateCount& c) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g (%.1f bits)", c.states, c.bits);
+  return buf;
+}
+
+namespace {
+
+std::uint64_t token_index(const pl::Token& t, int psi) {
+  if (!t.exists()) return 0;
+  const int pos_idx = t.pos < 0 ? t.pos + psi - 1 : psi - 1 + t.pos - 1;
+  return 1 + (static_cast<std::uint64_t>(pos_idx) * 4 + t.value * 2 +
+              t.carry);
+}
+
+}  // namespace
+
+std::uint64_t pack_pl_state(const pl::PlState& s, const pl::PlParams& p) {
+  const auto psi = static_cast<std::uint64_t>(p.psi);
+  const std::uint64_t token_radix = 1 + (2 * psi - 1) * 4;
+  const std::uint64_t kappa_radix = static_cast<std::uint64_t>(p.kappa_max) + 1;
+  std::uint64_t v = s.leader;
+  v = v * 2 + s.b;
+  v = v * (2 * psi) + s.dist;
+  v = v * 2 + s.last;
+  v = v * token_radix + token_index(s.token_b, p.psi);
+  v = v * token_radix + token_index(s.token_w, p.psi);
+  v = v * kappa_radix + s.clock;
+  v = v * (psi + 1) + s.hits;
+  v = v * kappa_radix + s.signal_r;
+  v = v * 3 + s.bullet;
+  v = v * 2 + s.shield;
+  v = v * 2 + s.signal_b;
+  return v;
+}
+
+}  // namespace ppsim::analysis

@@ -1,0 +1,65 @@
+#include "baselines/thue_morse.hpp"
+
+#include <bit>
+
+namespace ppsim::baselines {
+
+std::vector<std::uint8_t> thue_morse_prefix(std::size_t length) {
+  std::vector<std::uint8_t> s(length);
+  for (std::size_t i = 0; i < length; ++i)
+    s[i] = static_cast<std::uint8_t>(
+        std::popcount(static_cast<unsigned long long>(i)) & 1);
+  return s;
+}
+
+bool has_cube(std::span<const std::uint8_t> s) {
+  const std::size_t n = s.size();
+  for (std::size_t w = 1; 3 * w <= n; ++w) {
+    for (std::size_t i = 0; i + 3 * w <= n; ++i) {
+      bool cube = true;
+      for (std::size_t j = 0; j < 2 * w; ++j) {
+        if (s[i + j] != s[i + j + w]) {
+          cube = false;
+          break;
+        }
+      }
+      if (cube) return true;
+    }
+  }
+  return false;
+}
+
+bool cyclic_has_cube(std::span<const std::uint8_t> s,
+                     std::size_t max_window) {
+  return smallest_cyclic_cube_window(s, max_window).has_value();
+}
+
+std::optional<std::size_t> smallest_cyclic_cube_window(
+    std::span<const std::uint8_t> s, std::size_t max_window) {
+  const std::size_t n = s.size();
+  if (n == 0) return std::nullopt;
+  for (std::size_t w = 1; w <= max_window; ++w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      bool cube = true;
+      for (std::size_t j = 0; j < 2 * w; ++j) {
+        if (s[(i + j) % n] != s[(i + j + w) % n]) {
+          cube = false;
+          break;
+        }
+      }
+      if (cube) return w;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> embed_thue_morse(int n, int leader_pos) {
+  const auto prefix = thue_morse_prefix(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> ring(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    ring[static_cast<std::size_t>((leader_pos + i) % n)] =
+        prefix[static_cast<std::size_t>(i)];
+  return ring;
+}
+
+}  // namespace ppsim::baselines

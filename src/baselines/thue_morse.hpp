@@ -1,0 +1,44 @@
+// Thue–Morse substrate for baseline [11] (Chen & Chen 2019).
+//
+// Their protocol embeds a prefix of the Thue–Morse string anchored at the
+// unique leader and detects leader absence by finding a cube w w w somewhere
+// on the ring — possible exactly because the Thue–Morse string is cube-free
+// while every leaderless (hence fully periodic) labeling contains a cube.
+// The full protocol simulates counter machines and needs super-exponential
+// time; per DESIGN.md §2.4 we reproduce the *detection principle* as a
+// substrate with property tests plus analysis helpers, and carry the Table-1
+// row as theory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ppsim::baselines {
+
+/// First `length` symbols of the Thue–Morse string: s_i = parity of
+/// popcount(i).
+[[nodiscard]] std::vector<std::uint8_t> thue_morse_prefix(std::size_t length);
+
+/// Does `s` contain a cube w w w (some non-empty w) as a *linear* substring?
+[[nodiscard]] bool has_cube(std::span<const std::uint8_t> s);
+
+/// Does the *cyclic* string `s` (the leaderless ring reading) contain a cube
+/// with window length at most `max_window`? Windows up to s.size() are
+/// meaningful; w = s.size() always yields a cube for a cyclic string.
+[[nodiscard]] bool cyclic_has_cube(std::span<const std::uint8_t> s,
+                                   std::size_t max_window);
+
+/// Smallest window length w such that the cyclic string contains w w w, if
+/// any window up to max_window does.
+[[nodiscard]] std::optional<std::size_t> smallest_cyclic_cube_window(
+    std::span<const std::uint8_t> s, std::size_t max_window);
+
+/// Thue–Morse embedding anchored at `leader_pos` on a ring of size n:
+/// agent (leader_pos + i) mod n gets s_i.
+[[nodiscard]] std::vector<std::uint8_t> embed_thue_morse(int n,
+                                                         int leader_pos);
+
+}  // namespace ppsim::baselines

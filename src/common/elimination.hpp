@@ -1,0 +1,101 @@
+// EliminateLeaders() — Algorithm 5 of the paper, taken unmodified from
+// Yokota–Sudo–Masuzawa [28]: the bullets-and-shields war that reduces the
+// number of leaders to one within O(n^2) expected steps without ever killing
+// the last leader (once all live bullets are peaceful, cf. C_PB / Lemma 4.1).
+//
+// Mechanism recap (§3.4):
+//  * A leader fires a bullet only after a *bullet-absence signal* (signalB,
+//    propagating right-to-left) confirms its previous bullet is gone.
+//  * The coin is extracted from the scheduler: receiving the signal and then
+//    interacting as the initiator (left of the pair) fires a LIVE bullet and
+//    raises the shield; interacting as the responder fires a DUMMY bullet and
+//    lowers the shield. Each case has probability 1/2.
+//  * Bullets travel left-to-right; a live bullet kills an unshielded leader;
+//    any bullet erases absence signals it passes (line 61), so a signal
+//    reaches a leader only once the gap to its right is bullet-free.
+//
+// Shared by P_PL and the yokota28 baseline. The state type must expose
+// integer-like fields: leader {0,1}, bullet {0,1,2}, shield {0,1},
+// signal_b {0,1}. An optional event sink (same hooks as pl::NullSink)
+// records firing/kill statistics.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+
+namespace ppsim::common {
+
+inline constexpr int kNoBullet = 0;
+inline constexpr int kDummyBullet = 1;
+inline constexpr int kLiveBullet = 2;
+
+template <typename S>
+concept EliminationState = requires(S s) {
+  { s.leader };
+  { s.bullet };
+  { s.shield };
+  { s.signal_b };
+};
+
+/// No-op sink for the uninstrumented path.
+struct NoopElimSink {
+  static constexpr void fired_live() {}
+  static constexpr void fired_dummy() {}
+  static constexpr void bullet_moved() {}
+  static constexpr void bullet_blocked() {}
+  static constexpr void bullet_absorbed(bool /*killed*/) {}
+};
+
+/// One interaction of EliminateLeaders(); `l` is the initiator (left agent),
+/// `r` the responder (right agent). Line numbers refer to Algorithm 5.
+template <EliminationState S, typename Sink>
+constexpr void eliminate_leaders_step(S& l, S& r, Sink& sink) noexcept {
+  // Lines 51-52: leader as initiator with a confirmed-absent bullet fires a
+  // live bullet and shields itself.
+  if (l.leader == 1 && l.signal_b == 1) {
+    l.bullet = kLiveBullet;
+    l.shield = 1;
+    l.signal_b = 0;
+    sink.fired_live();
+  }
+  // Lines 53-54: leader as responder fires a dummy bullet and unshields.
+  if (r.leader == 1 && r.signal_b == 1) {
+    r.bullet = kDummyBullet;
+    r.shield = 0;
+    r.signal_b = 0;
+    sink.fired_dummy();
+  }
+  // Lines 55-57: bullet reaches a leader; kills it iff live and unshielded.
+  if (l.bullet > 0 && r.leader == 1) {
+    const bool killed = l.bullet == kLiveBullet && r.shield == 0;
+    if (killed) r.leader = 0;
+    l.bullet = kNoBullet;
+    sink.bullet_absorbed(killed);
+  } else if (l.bullet > 0) {
+    // Lines 58-60: bullet advances unless the responder already holds one
+    // (then the left bullet disappears).
+    if (r.bullet == kNoBullet) {
+      r.bullet = l.bullet;
+      sink.bullet_moved();
+    } else {
+      sink.bullet_blocked();
+    }
+    l.bullet = kNoBullet;
+    // Line 61: a bullet erases bullet-absence signals in its path.
+    r.signal_b = 0;
+  }
+  // Line 62: absence signals propagate right-to-left; a leader responder
+  // (re)generates one in its left neighbor.
+  l.signal_b = std::max({static_cast<int>(l.signal_b),
+                         static_cast<int>(r.signal_b),
+                         static_cast<int>(r.leader)});
+}
+
+/// Uninstrumented convenience overload.
+template <EliminationState S>
+constexpr void eliminate_leaders_step(S& l, S& r) noexcept {
+  NoopElimSink sink;
+  eliminate_leaders_step(l, r, sink);
+}
+
+}  // namespace ppsim::common

@@ -1,0 +1,204 @@
+// Exhaustive verification of self-stabilization for small populations.
+//
+// Under the uniformly random scheduler, an execution reaches a safe
+// configuration with probability 1 if and only if every *bottom* strongly
+// connected component (closed recurrent class) of the configuration graph
+// consists solely of configurations that (a) satisfy the output specification
+// and (b) share identical outputs (so outputs never change again — closure).
+//
+// This lets us machine-check the O(1)-state protocols (modk, elimination-only,
+// P_OR) for every initial configuration at small n, instead of sampling.
+//
+// Requirements on the protocol adapter `M`:
+//   using State  = ...;
+//   using Params = ...;                       // exposes .n
+//   static constexpr bool directed = ...;
+//   static std::size_t num_states(const Params&);
+//   static std::size_t pack(const State&, const Params&, int agent);
+//   static State unpack(std::size_t, const Params&, int agent);
+//   static void apply(State&, State&, const Params&);       // initiator, responder
+// pack/unpack receive the agent's ring position so adapters can model fixed
+// per-agent inputs (e.g. the 2-hop coloring consumed by P_OR) outside the
+// enumerated state.
+// Specification functor: Output spec(std::span<const State>, const Params&)
+// where Output is EqualityComparable, plus bool is_legal(const Output&).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppsim::core {
+
+struct CheckResult {
+  bool ok = false;
+  std::uint64_t num_configurations = 0;
+  std::uint64_t num_bottom_sccs = 0;
+  std::uint64_t num_bottom_configs = 0;
+  /// A configuration inside an offending bottom SCC, if any.
+  std::optional<std::uint64_t> counterexample;
+  std::string reason;
+};
+
+template <typename M>
+class ModelChecker {
+ public:
+  using State = typename M::State;
+  using Params = typename M::Params;
+
+  explicit ModelChecker(Params params) : params_(std::move(params)) {
+    per_agent_ = M::num_states(params_);
+    total_ = 1;
+    for (int i = 0; i < params_.n; ++i) total_ *= per_agent_;
+  }
+
+  [[nodiscard]] std::uint64_t num_configurations() const noexcept {
+    return total_;
+  }
+
+  [[nodiscard]] std::vector<State> decode(std::uint64_t id) const {
+    std::vector<State> config(static_cast<std::size_t>(params_.n));
+    for (int i = 0; i < params_.n; ++i) {
+      config[static_cast<std::size_t>(i)] =
+          M::unpack(id % per_agent_, params_, i);
+      id /= per_agent_;
+    }
+    return config;
+  }
+
+  [[nodiscard]] std::uint64_t encode(std::span<const State> config) const {
+    std::uint64_t id = 0;
+    for (int i = params_.n - 1; i >= 0; --i)
+      id = id * per_agent_ +
+           M::pack(config[static_cast<std::size_t>(i)], params_, i);
+    return id;
+  }
+
+  /// Successor configuration under arc `a`.
+  [[nodiscard]] std::uint64_t successor(std::uint64_t id, int arc) const {
+    std::vector<State> config = decode(id);
+    const int n = params_.n;
+    int ii, ri;
+    if (arc < n) {
+      ii = arc;
+      ri = arc + 1 == n ? 0 : arc + 1;
+    } else {
+      ri = arc - n;
+      ii = ri + 1 == n ? 0 : ri + 1;
+    }
+    M::apply(config[static_cast<std::size_t>(ii)],
+             config[static_cast<std::size_t>(ri)], params_);
+    return encode(config);
+  }
+
+  /// Verify: every bottom SCC consists of spec-identical, legal-output
+  /// configurations. `spec` maps a configuration to its output value;
+  /// `legal` decides whether that output satisfies the problem.
+  template <typename Spec, typename Legal>
+  [[nodiscard]] CheckResult check(Spec&& spec, Legal&& legal) const {
+    CheckResult res;
+    res.num_configurations = total_;
+    const int arcs = M::directed ? params_.n : 2 * params_.n;
+
+    // Iterative Tarjan SCC; successors computed on the fly (memory-light).
+    // SCCs pop in reverse topological order, so when an SCC is emitted every
+    // successor outside it already has a component id — an SCC is *bottom*
+    // iff no member has a successor with a different component id.
+    constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+    std::vector<std::uint32_t> index(total_, kUnset);
+    std::vector<std::uint32_t> lowlink(total_);
+    std::vector<std::uint32_t> comp(total_, kUnset);
+    std::vector<std::uint64_t> stack;
+    std::uint32_t next_index = 0;
+    std::uint32_t next_comp = 0;
+
+    struct Frame {
+      std::uint64_t v;
+      int arc;  // next arc to explore
+    };
+    std::vector<Frame> call_stack;
+    std::vector<std::uint64_t> scc;  // reused buffer
+
+    for (std::uint64_t root = 0; root < total_; ++root) {
+      if (index[root] != kUnset) continue;
+      call_stack.push_back({root, 0});
+      index[root] = lowlink[root] = next_index++;
+      stack.push_back(root);
+
+      while (!call_stack.empty()) {
+        Frame& f = call_stack.back();
+        if (f.arc < arcs) {
+          const std::uint64_t w = successor(f.v, f.arc);
+          ++f.arc;
+          if (w == f.v) continue;  // self-loop: irrelevant to SCC structure
+          if (index[w] == kUnset) {
+            index[w] = lowlink[w] = next_index++;
+            stack.push_back(w);
+            call_stack.push_back({w, 0});
+          } else if (comp[w] == kUnset) {  // still on Tarjan stack
+            lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+          }
+          continue;
+        }
+        // Post-order: pop SCC if root of one.
+        const std::uint64_t v = f.v;
+        call_stack.pop_back();
+        if (!call_stack.empty())
+          lowlink[call_stack.back().v] =
+              std::min(lowlink[call_stack.back().v], lowlink[v]);
+        if (lowlink[v] != index[v]) continue;
+
+        scc.clear();
+        const std::uint32_t cid = next_comp++;
+        for (;;) {
+          const std::uint64_t w = stack.back();
+          stack.pop_back();
+          comp[w] = cid;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        bool bottom = true;
+        for (std::uint64_t m : scc) {
+          for (int a = 0; a < arcs; ++a) {
+            if (comp[successor(m, a)] != cid) {
+              bottom = false;
+              break;
+            }
+          }
+          if (!bottom) break;
+        }
+        if (!bottom) continue;
+
+        ++res.num_bottom_sccs;
+        res.num_bottom_configs += scc.size();
+        const auto ref_cfg = decode(scc.front());
+        const auto ref_out = spec(std::span<const State>(ref_cfg), params_);
+        if (!legal(ref_out)) {
+          res.counterexample = scc.front();
+          res.reason = "bottom SCC with illegal output";
+          return res;
+        }
+        for (std::uint64_t m : scc) {
+          const auto cfg = decode(m);
+          if (spec(std::span<const State>(cfg), params_) != ref_out) {
+            res.counterexample = m;
+            res.reason = "bottom SCC with non-constant outputs";
+            return res;
+          }
+        }
+      }
+    }
+    res.ok = true;
+    return res;
+  }
+
+ private:
+  Params params_;
+  std::uint64_t per_agent_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppsim::core

@@ -1,0 +1,76 @@
+// Ring-topology index arithmetic shared by all protocols and checkers.
+//
+// The population is V = {u_0, ..., u_{n-1}} with arcs (u_i, u_{i+1 mod n}).
+// Agents themselves are anonymous; indices exist only in the harness, exactly
+// as in the paper ("we use the indices of the agents only for simplicity").
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ppsim::core {
+
+/// i + d (mod n) for 0 <= i < n and d possibly negative or > n.
+[[nodiscard]] constexpr int ring_add(int i, long long d, int n) noexcept {
+  assert(n > 0);
+  long long v = (static_cast<long long>(i) + d) % n;
+  if (v < 0) v += n;
+  return static_cast<int>(v);
+}
+
+/// Clockwise (left-to-right) distance from i to j on a ring of size n.
+[[nodiscard]] constexpr int ring_distance(int i, int j, int n) noexcept {
+  assert(n > 0);
+  int d = j - i;
+  if (d < 0) d += n;
+  return d;
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t x) noexcept {
+  int bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Interaction sequence builders from Section 2 of the paper.
+/// Arc e_i is the interaction (u_i, u_{i+1}); a sequence is a list of arc ids.
+///
+/// seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}   (a clockwise sweep)
+[[nodiscard]] inline std::vector<int> seq_r(int start, int length, int n) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (int k = 0; k < length; ++k) out.push_back(ring_add(start, k, n));
+  return out;
+}
+
+/// seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}  (a counter-clockwise sweep)
+[[nodiscard]] inline std::vector<int> seq_l(int start, int length, int n) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (int k = 1; k <= length; ++k) out.push_back(ring_add(start, -k, n));
+  return out;
+}
+
+/// Concatenation helper: s . t
+[[nodiscard]] inline std::vector<int> seq_concat(std::vector<int> s,
+                                                 const std::vector<int>& t) {
+  s.insert(s.end(), t.begin(), t.end());
+  return s;
+}
+
+/// s^k: the k-times repetition of s.
+[[nodiscard]] inline std::vector<int> seq_repeat(const std::vector<int>& s,
+                                                 int times) {
+  std::vector<int> out;
+  out.reserve(s.size() * static_cast<std::size_t>(times));
+  for (int i = 0; i < times; ++i) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+}  // namespace ppsim::core

@@ -1,0 +1,240 @@
+// Execution engine: drives a population protocol on a ring under either the
+// uniformly random scheduler of the paper or a caller-supplied deterministic
+// interaction sequence (for Lemma-2.3-style tests).
+//
+// Protocol concept (checked via `requires`):
+//
+//   struct P {
+//     using State  = ...;              // value-semantic agent state
+//     using Params = ...;              // protocol parameters (must expose .n)
+//     static constexpr bool directed = true;   // directed ring? (false: 2n arcs)
+//     static void apply(State& initiator, State& responder, const Params&);
+//     // Optional (enables leader tracking and the Omega? oracle):
+//     static bool is_leader(const State&, const Params&);
+//     // Optional (oracle protocols): the runner passes an InteractionContext.
+//     static void apply(State&, State&, const Params&, const InteractionContext&);
+//   };
+//
+// Initiator/responder mapping on the directed ring: arc e_i is the interaction
+// (u_i, u_{i+1}) — the *left* agent is the initiator, matching the paper's
+// "l is the initiator and r is the responder". On the undirected ring there
+// are 2n arcs: e_i and its reverse (u_{i+1}, u_i), each with probability 1/2n.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ppsim::core {
+
+/// Per-interaction environment information for oracle-assisted protocols
+/// (Fischer–Jiang's Omega?). `no_leader` is the oracle's report: true iff the
+/// population has been leaderless for at least `oracle_delay` steps.
+/// `no_token` reports the absence of any token (protocols opt in by exposing
+/// `has_token`), with immediate reporting.
+struct InteractionContext {
+  bool no_leader = false;
+  bool no_token = false;
+};
+
+template <typename P>
+concept HasLeaderOutput = requires(const typename P::State& s,
+                                   const typename P::Params& p) {
+  { P::is_leader(s, p) } -> std::convertible_to<bool>;
+};
+
+template <typename P>
+concept HasTokenCensus = requires(const typename P::State& s,
+                                  const typename P::Params& p) {
+  { P::has_token(s, p) } -> std::convertible_to<bool>;
+};
+
+template <typename P>
+concept WantsOracle =
+    requires(typename P::State& a, typename P::State& b,
+             const typename P::Params& p, const InteractionContext& ctx) {
+      P::apply(a, b, p, ctx);
+    };
+
+/// Simulation runner. Owns the configuration, the scheduler RNG and step
+/// bookkeeping. Copyable (snapshot = copy).
+template <typename P>
+class Runner {
+ public:
+  using State = typename P::State;
+  using Params = typename P::Params;
+
+  static constexpr std::uint64_t npos =
+      std::numeric_limits<std::uint64_t>::max();
+
+  Runner(Params params, std::vector<State> initial, std::uint64_t seed)
+      : params_(std::move(params)),
+        agents_(std::move(initial)),
+        rng_(seed) {
+    assert(static_cast<int>(agents_.size()) == params_.n);
+    recount_leaders();
+  }
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::span<const State> agents() const noexcept {
+    return agents_;
+  }
+  [[nodiscard]] const State& agent(int i) const { return agents_.at(i); }
+  [[nodiscard]] int n() const noexcept { return params_.n; }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+  /// Number of arcs (= number of equally likely interactions per step).
+  [[nodiscard]] int arc_count() const noexcept {
+    return P::directed ? params_.n : 2 * params_.n;
+  }
+
+  /// Leader census (maintained incrementally; only meaningful when the
+  /// protocol has a leader output).
+  [[nodiscard]] int leader_count() const noexcept { return leader_count_; }
+
+  /// Step index of the most recent change to the *set* of leaders, or 0.
+  [[nodiscard]] std::uint64_t last_leader_change() const noexcept {
+    return last_leader_change_;
+  }
+
+  /// Oracle delay (steps of uninterrupted leaderlessness before Omega?
+  /// reports absence). 0 = immediate reporting, the paper's Table-1 regime.
+  void set_oracle_delay(std::uint64_t d) noexcept { oracle_delay_ = d; }
+
+  /// Overwrite one agent's state (fault injection / adversarial setup).
+  void set_agent(int i, const State& s) {
+    agents_.at(i) = s;
+    recount_leaders();
+  }
+
+  /// Execute a single uniformly random interaction.
+  void step() { apply_arc(static_cast<int>(rng_.bounded(arc_count()))); }
+
+  /// Execute `k` uniformly random interactions.
+  void run(std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) step();
+  }
+
+  /// Execute the interaction identified by `arc` (deterministic scheduling).
+  /// For directed protocols arc in [0, n); for undirected, arcs in [n, 2n)
+  /// are the reversed pairs (u_{a-n+1} initiator, u_{a-n} responder).
+  void apply_arc(int arc) {
+    const int n = params_.n;
+    int init_idx, resp_idx;
+    if (arc < n) {
+      init_idx = arc;
+      resp_idx = arc + 1 == n ? 0 : arc + 1;
+    } else {
+      resp_idx = arc - n;
+      init_idx = resp_idx + 1 == n ? 0 : resp_idx + 1;
+    }
+    State& a = agents_[static_cast<std::size_t>(init_idx)];
+    State& b = agents_[static_cast<std::size_t>(resp_idx)];
+    if constexpr (HasLeaderOutput<P>) {
+      const bool la = P::is_leader(a, params_);
+      const bool lb = P::is_leader(b, params_);
+      int ta = 0, tb = 0;
+      if constexpr (HasTokenCensus<P>) {
+        ta = P::has_token(a, params_) ? 1 : 0;
+        tb = P::has_token(b, params_) ? 1 : 0;
+      }
+      dispatch(a, b);
+      const bool la2 = P::is_leader(a, params_);
+      const bool lb2 = P::is_leader(b, params_);
+      leader_count_ += static_cast<int>(la2) - static_cast<int>(la) +
+                       static_cast<int>(lb2) - static_cast<int>(lb);
+      if (la != la2 || lb != lb2) last_leader_change_ = steps_ + 1;
+      if (leader_count_ > 0) {
+        leaderless_since_ = npos;
+      } else if (leaderless_since_ == npos) {
+        leaderless_since_ = steps_ + 1;
+      }
+      if constexpr (HasTokenCensus<P>) {
+        token_count_ += (P::has_token(a, params_) ? 1 : 0) - ta +
+                        (P::has_token(b, params_) ? 1 : 0) - tb;
+      }
+    } else {
+      dispatch(a, b);
+    }
+    ++steps_;
+  }
+
+  /// Apply a whole deterministic interaction sequence (arc ids).
+  void apply_sequence(std::span<const int> arcs) {
+    for (int a : arcs) apply_arc(a);
+  }
+
+  /// Run until `pred(agents, params)` holds, checking every `check_every`
+  /// steps (granularity of the reported hitting step). Returns the step count
+  /// at the first satisfied check, or nullopt if `max_steps` elapse first.
+  template <typename Pred>
+  std::optional<std::uint64_t> run_until(Pred&& pred, std::uint64_t max_steps,
+                                         std::uint64_t check_every = 0) {
+    if (check_every == 0)
+      check_every = static_cast<std::uint64_t>(params_.n);
+    if (pred(std::span<const State>(agents_), params_)) return steps_;
+    const std::uint64_t deadline = steps_ + max_steps;
+    while (steps_ < deadline) {
+      const std::uint64_t block =
+          std::min<std::uint64_t>(check_every, deadline - steps_);
+      run(block);
+      if (pred(std::span<const State>(agents_), params_)) return steps_;
+    }
+    return std::nullopt;
+  }
+
+  /// Run `k` steps invoking `observer(runner, arc)` after every interaction.
+  template <typename Observer>
+  void run_observed(std::uint64_t k, Observer&& observer) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const int arc = static_cast<int>(rng_.bounded(arc_count()));
+      apply_arc(arc);
+      observer(*this, arc);
+    }
+  }
+
+ private:
+  void dispatch(State& a, State& b) {
+    if constexpr (WantsOracle<P>) {
+      InteractionContext ctx;
+      ctx.no_leader = leaderless_since_ != npos &&
+                      steps_ - leaderless_since_ >= oracle_delay_;
+      ctx.no_token = token_count_ == 0;
+      P::apply(a, b, params_, ctx);
+    } else {
+      P::apply(a, b, params_);
+    }
+  }
+
+  void recount_leaders() {
+    if constexpr (HasLeaderOutput<P>) {
+      leader_count_ = 0;
+      for (const State& s : agents_)
+        leader_count_ += P::is_leader(s, params_) ? 1 : 0;
+      leaderless_since_ = leader_count_ == 0 ? steps_ : npos;
+    }
+    if constexpr (HasTokenCensus<P>) {
+      token_count_ = 0;
+      for (const State& s : agents_)
+        token_count_ += P::has_token(s, params_) ? 1 : 0;
+    }
+  }
+
+  Params params_;
+  std::vector<State> agents_;
+  Xoshiro256pp rng_;
+  std::uint64_t steps_ = 0;
+  int leader_count_ = 0;
+  int token_count_ = 0;
+  std::uint64_t last_leader_change_ = 0;
+  std::uint64_t leaderless_since_ = npos;
+  std::uint64_t oracle_delay_ = 0;
+};
+
+}  // namespace ppsim::core

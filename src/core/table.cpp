@@ -1,0 +1,75 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace ppsim::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_row_values(const std::vector<double>& cells) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) out.push_back(fmt_double(v));
+  return add_row(std::move(out));
+}
+
+void Table::print(std::ostream& os, bool markdown) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << (markdown ? "| " : "  ");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      os << (markdown ? " | " : "  ");
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  if (markdown) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << std::string(widths[c] + 2, '-') << "|";
+    os << '\n';
+  } else {
+    std::size_t total = 2;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string(bool markdown) const {
+  std::ostringstream os;
+  print(os, markdown);
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+std::string fmt_u64(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", v);
+  return buf;
+}
+
+}  // namespace ppsim::core

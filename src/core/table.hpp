@@ -1,0 +1,35 @@
+// Minimal fixed-width / markdown table printer for the bench harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppsim::core {
+
+/// Accumulates rows of strings and prints them aligned, optionally in
+/// GitHub-markdown style (used verbatim in EXPERIMENTS.md).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with %g-style output.
+  Table& add_row_values(const std::vector<double>& cells);
+
+  void print(std::ostream& os, bool markdown = true) const;
+  [[nodiscard]] std::string to_string(bool markdown = true) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+[[nodiscard]] std::string fmt_u64(unsigned long long v);
+
+}  // namespace ppsim::core

@@ -1,0 +1,105 @@
+// Sampled time series of configuration metrics — used to render convergence
+// profiles (how leader count, detection-mode population, signal population
+// and distance-to-perfection evolve during stabilization).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace ppsim::core {
+
+/// A named, uniformly sampled series of doubles.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, std::uint64_t sample_every)
+      : name_(std::move(name)), sample_every_(sample_every) {}
+
+  void record(double v) { values_.push_back(v); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t sample_every() const noexcept {
+    return sample_every_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  /// Step index of the last sample where the value differs from the final
+  /// value (useful for "when did this metric settle").
+  [[nodiscard]] std::uint64_t settle_step() const {
+    if (values_.empty()) return 0;
+    const double last = values_.back();
+    for (std::size_t i = values_.size(); i-- > 0;) {
+      if (values_[i] != last) return (i + 1) * sample_every_;
+    }
+    return 0;
+  }
+
+  /// Unicode-free ASCII sparkline (height 1, width = min(values, width)).
+  [[nodiscard]] std::string sparkline(int width = 72) const {
+    if (values_.empty()) return "(empty)";
+    static constexpr char levels[] = " .:-=+*#%@";
+    const double lo = *std::min_element(values_.begin(), values_.end());
+    const double hi = *std::max_element(values_.begin(), values_.end());
+    const double span = hi > lo ? hi - lo : 1.0;
+    std::string out;
+    const std::size_t w =
+        std::min<std::size_t>(static_cast<std::size_t>(width),
+                              values_.size());
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::size_t idx = i * values_.size() / w;
+      const int level = static_cast<int>((values_[idx] - lo) / span * 9.0);
+      out += levels[std::clamp(level, 0, 9)];
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t sample_every_;
+  std::vector<double> values_;
+};
+
+/// A bundle of series sampled in lockstep; prints a profile block.
+/// (Series live in a deque so references returned by add() stay valid as
+/// more series are added.)
+class Profile {
+ public:
+  explicit Profile(std::uint64_t sample_every)
+      : sample_every_(sample_every) {}
+
+  TimeSeries& add(std::string name) {
+    series_.emplace_back(std::move(name), sample_every_);
+    return series_.back();
+  }
+
+  [[nodiscard]] std::uint64_t sample_every() const noexcept {
+    return sample_every_;
+  }
+  [[nodiscard]] const std::deque<TimeSeries>& series() const noexcept {
+    return series_;
+  }
+
+  [[nodiscard]] std::string render(int width = 72) const {
+    std::string out;
+    std::size_t widest = 0;
+    for (const auto& s : series_) widest = std::max(widest, s.name().size());
+    for (const auto& s : series_) {
+      out += s.name();
+      out.append(widest - s.name().size() + 2, ' ');
+      out += s.sparkline(width);
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t sample_every_;
+  std::deque<TimeSeries> series_;
+};
+
+}  // namespace ppsim::core

@@ -1,0 +1,151 @@
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "core/ring.hpp"
+#include "orientation/coloring.hpp"
+#include "orientation/oriented_stack.hpp"
+#include "orientation/por.hpp"
+
+namespace ppsim::orient {
+
+std::vector<std::uint8_t> two_hop_coloring(int n) {
+  if (n < 3)
+    throw std::invalid_argument("two_hop_coloring: requires n >= 3");
+  std::vector<std::uint8_t> colors(static_cast<std::size_t>(n), 0);
+  // The two-hop graph of a ring is one cycle (odd n) or two cycles (even n).
+  // Color each cycle by alternation, closing odd cycles with a third color.
+  auto color_cycle = [&](int start) {
+    std::vector<int> cycle;
+    int pos = start;
+    do {
+      cycle.push_back(pos);
+      pos = (pos + 2) % n;
+    } while (pos != start);
+    const auto m = cycle.size();
+    for (std::size_t j = 0; j < m; ++j)
+      colors[static_cast<std::size_t>(cycle[j])] =
+          static_cast<std::uint8_t>(j % 2);
+    if (m % 2 == 1) colors[static_cast<std::size_t>(cycle[m - 1])] = 2;
+  };
+  color_cycle(0);
+  if (n % 2 == 0) color_cycle(1);
+  return colors;
+}
+
+bool is_proper_two_hop(std::span<const std::uint8_t> colors) {
+  const int n = static_cast<int>(colors.size());
+  if (n < 3) return false;
+  for (int i = 0; i < n; ++i)
+    if (colors[static_cast<std::size_t>(i)] ==
+        colors[static_cast<std::size_t>((i + 2) % n)])
+      return false;
+  return true;
+}
+
+int color_count(std::span<const std::uint8_t> colors) {
+  return static_cast<int>(
+      std::set<std::uint8_t>(colors.begin(), colors.end()).size());
+}
+
+bool is_oriented(std::span<const OrState> c, const OrParams&) {
+  const int n = static_cast<int>(c.size());
+  bool all_cw = true, all_ccw = true;
+  for (int i = 0; i < n; ++i) {
+    const OrState& s = c[static_cast<std::size_t>(i)];
+    if (s.dir != c[static_cast<std::size_t>((i + 1) % n)].color)
+      all_cw = false;
+    if (s.dir != c[static_cast<std::size_t>(core::ring_add(i, -1, n))].color)
+      all_ccw = false;
+  }
+  return all_cw || all_ccw;
+}
+
+std::vector<OrState> or_config(const OrParams& p, core::Xoshiro256pp& rng,
+                               bool random_dir) {
+  const auto colors = two_hop_coloring(p.n);
+  std::vector<OrState> c(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    OrState& s = c[static_cast<std::size_t>(i)];
+    s.color = colors[static_cast<std::size_t>(i)];
+    s.c1 = colors[static_cast<std::size_t>(core::ring_add(i, -1, p.n))];
+    s.c2 = colors[static_cast<std::size_t>((i + 1) % p.n)];
+    if (random_dir) {
+      s.dir = static_cast<std::uint8_t>(rng.bounded(p.xi));
+      s.strong = static_cast<std::uint8_t>(rng.bounded(2));
+    } else {
+      s.dir = s.c2;  // all clockwise
+      s.strong = 0;
+    }
+  }
+  return c;
+}
+
+OrState PorModel::unpack(std::size_t v, const Params& p, int agent) {
+  const auto colors = two_hop_coloring(p.n);
+  OrState s;
+  s.color = colors[static_cast<std::size_t>(agent)];
+  s.c1 = colors[static_cast<std::size_t>(core::ring_add(agent, -1, p.n))];
+  s.c2 = colors[static_cast<std::size_t>((agent + 1) % p.n)];
+  s.strong = static_cast<std::uint8_t>(v % 2);
+  s.dir = static_cast<std::uint8_t>(v / 2);
+  return s;
+}
+
+int stack_orientation(std::span<const StackState> c) {
+  const int n = static_cast<int>(c.size());
+  bool all_cw = true, all_ccw = true;
+  for (int i = 0; i < n; ++i) {
+    const StackState& s = c[static_cast<std::size_t>(i)];
+    if (s.dir != c[static_cast<std::size_t>((i + 1) % n)].color)
+      all_cw = false;
+    if (s.dir != c[static_cast<std::size_t>(core::ring_add(i, -1, n))].color)
+      all_ccw = false;
+    // The learned neighbor colors must also be settled, or the P_OR layer
+    // may still rewire dir.
+    const std::uint8_t left =
+        c[static_cast<std::size_t>(core::ring_add(i, -1, n))].color;
+    const std::uint8_t right = c[static_cast<std::size_t>((i + 1) % n)].color;
+    const bool learned = (s.lc1 == left && s.lc2 == right) ||
+                         (s.lc1 == right && s.lc2 == left);
+    if (!learned) {
+      all_cw = false;
+      all_ccw = false;
+    }
+  }
+  if (all_cw) return 1;
+  if (all_ccw) return -1;
+  return 0;
+}
+
+bool stack_is_safe(std::span<const StackState> c, const StackParams& p) {
+  const int direction = stack_orientation(c);
+  if (direction == 0) return false;
+  const int n = static_cast<int>(c.size());
+  std::vector<pl::PlState> flat(static_cast<std::size_t>(n));
+  // P_PL's logical clockwise order follows the settled direction: when all
+  // agents point counter-clockwise, the election runs on the reversed ring.
+  for (int i = 0; i < n; ++i) {
+    const int phys = direction == 1 ? i : core::ring_add(0, -i, n);
+    flat[static_cast<std::size_t>(i)] = c[static_cast<std::size_t>(phys)].pl;
+  }
+  return pl::is_safe(flat, p.pl);
+}
+
+std::vector<StackState> stack_random_config(const StackParams& p,
+                                            core::Xoshiro256pp& rng) {
+  const auto colors = two_hop_coloring(p.n);
+  std::vector<StackState> c(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    StackState& s = c[static_cast<std::size_t>(i)];
+    s.color = colors[static_cast<std::size_t>(i)];
+    s.lc1 = static_cast<std::uint8_t>(rng.bounded(p.xi));
+    s.lc2 = static_cast<std::uint8_t>(rng.bounded(p.xi));
+    s.dir = static_cast<std::uint8_t>(rng.bounded(p.xi));
+    s.strong = static_cast<std::uint8_t>(rng.bounded(2));
+    s.pl = pl::random_state(p.pl, rng);
+  }
+  return c;
+}
+
+}  // namespace ppsim::orient

@@ -1,0 +1,123 @@
+#include "pl/adversary.hpp"
+
+#include <algorithm>
+
+namespace ppsim::pl {
+
+namespace {
+
+Token random_token(const PlParams& p, core::Xoshiro256pp& rng) {
+  // pos in {bot} u [-psi+1, -1] u [1, psi]: 2*psi - 1 token positions plus
+  // bot = 2*psi equally likely choices.
+  const auto choice = static_cast<int>(rng.bounded(2 * p.psi));
+  if (choice == 0) return kNoToken;
+  const int pos = choice <= p.psi - 1 ? -choice : choice - (p.psi - 1);
+  Token t;
+  t.pos = static_cast<std::int8_t>(pos);
+  t.value = static_cast<std::uint8_t>(rng.bounded(2));
+  t.carry = static_cast<std::uint8_t>(rng.bounded(2));
+  return t;
+}
+
+}  // namespace
+
+PlState random_state(const PlParams& p, core::Xoshiro256pp& rng) {
+  PlState s;
+  s.leader = static_cast<std::uint8_t>(rng.bounded(2));
+  s.b = static_cast<std::uint8_t>(rng.bounded(2));
+  s.dist = static_cast<std::uint16_t>(rng.bounded(p.two_psi()));
+  s.last = static_cast<std::uint8_t>(rng.bounded(2));
+  s.token_b = random_token(p, rng);
+  s.token_w = random_token(p, rng);
+  s.clock = static_cast<std::uint16_t>(rng.bounded(p.kappa_max + 1));
+  s.hits = static_cast<std::uint8_t>(rng.bounded(p.psi + 1));
+  s.signal_r = static_cast<std::uint16_t>(rng.bounded(p.kappa_max + 1));
+  s.bullet = static_cast<std::uint8_t>(rng.bounded(3));
+  s.shield = static_cast<std::uint8_t>(rng.bounded(2));
+  s.signal_b = static_cast<std::uint8_t>(rng.bounded(2));
+  return s;
+}
+
+std::vector<PlState> random_config(const PlParams& p,
+                                   core::Xoshiro256pp& rng) {
+  std::vector<PlState> c(static_cast<std::size_t>(p.n));
+  for (PlState& s : c) s = random_state(p, rng);
+  return c;
+}
+
+std::vector<PlState> leaderless_consistent(const PlParams& p, int clock) {
+  std::vector<PlState> c(static_cast<std::size_t>(p.n));
+  const long long modulus = p.id_modulus();
+  for (int i = 0; i < p.n; ++i) {
+    PlState& s = c[static_cast<std::size_t>(i)];
+    s.dist = static_cast<std::uint16_t>(i % p.two_psi());
+    const int seg = i / p.psi;
+    const int bit = i % p.psi;
+    s.b = static_cast<std::uint8_t>(
+        ((static_cast<long long>(seg) % modulus) >> bit) & 1);
+    s.clock = static_cast<std::uint16_t>(
+        std::min(clock, p.kappa_max));
+  }
+  return c;
+}
+
+std::vector<PlState> all_leaders(const PlParams& p) {
+  std::vector<PlState> c(static_cast<std::size_t>(p.n));
+  for (PlState& s : c) {
+    s.leader = 1;
+    s.shield = 1;
+  }
+  return c;
+}
+
+std::vector<PlState> all_zero(const PlParams& p) {
+  return std::vector<PlState>(static_cast<std::size_t>(p.n));
+}
+
+std::vector<PlState> stale_signals_everywhere(const PlParams& p) {
+  std::vector<PlState> c(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    PlState& s = c[static_cast<std::size_t>(i)];
+    s.dist = static_cast<std::uint16_t>(i % p.two_psi());
+    s.signal_r = static_cast<std::uint16_t>(p.kappa_max);
+  }
+  return c;
+}
+
+std::vector<PlState> token_garbage(const PlParams& p,
+                                   core::Xoshiro256pp& rng) {
+  std::vector<PlState> c(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    PlState& s = c[static_cast<std::size_t>(i)];
+    s.dist = static_cast<std::uint16_t>(rng.bounded(p.two_psi()));
+    s.b = static_cast<std::uint8_t>(rng.bounded(2));
+    s.last = static_cast<std::uint8_t>(rng.bounded(2));
+    Token t;
+    t.pos = static_cast<std::int8_t>(
+        rng.coin() ? p.psi : -(p.psi - 1));  // extreme positions
+    t.value = static_cast<std::uint8_t>(rng.bounded(2));
+    t.carry = static_cast<std::uint8_t>(rng.bounded(2));
+    s.token_b = t;
+    s.token_w = t;
+    s.bullet = static_cast<std::uint8_t>(rng.bounded(3));
+    s.signal_b = static_cast<std::uint8_t>(rng.bounded(2));
+  }
+  return c;
+}
+
+void corrupt(std::vector<PlState>& config, const PlParams& p, int faults,
+             core::Xoshiro256pp& rng) {
+  const int n = static_cast<int>(config.size());
+  faults = std::min(faults, n);
+  // Floyd-style distinct sampling for small fault counts.
+  std::vector<int> chosen;
+  while (static_cast<int>(chosen.size()) < faults) {
+    const auto idx = static_cast<int>(rng.bounded(n));
+    if (std::find(chosen.begin(), chosen.end(), idx) == chosen.end())
+      chosen.push_back(idx);
+  }
+  for (int idx : chosen)
+    config[static_cast<std::size_t>(idx)] = random_state(p, rng);
+}
+
+}  // namespace ppsim::pl

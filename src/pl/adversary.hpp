@@ -1,0 +1,56 @@
+// Adversarial and random initial-configuration generators for P_PL.
+//
+// Self-stabilization quantifies over *every* configuration of the declared
+// state space Call(P): every generator below stays inside the variable
+// domains of Algorithm 1 (dist in [0, 2psi-1], clock/signalR in
+// [0, kappa_max], hits in [0, psi], token positions in [-psi+1, psi], ...).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "pl/params.hpp"
+#include "pl/state.hpp"
+
+namespace ppsim::pl {
+
+/// Uniformly random state for every agent (the paper's "arbitrary
+/// configuration" benchmark regime).
+[[nodiscard]] std::vector<PlState> random_config(const PlParams& p,
+                                                 core::Xoshiro256pp& rng);
+
+/// Leaderless configuration with a *consistent* dist chain wherever possible
+/// (dist = i mod 2psi), consecutive segment IDs except at the inevitable
+/// violation, clocks at `clock`, no signals/tokens/bullets. With
+/// clock == kappa_max this isolates the token-based detection path of
+/// Algorithm 3 (the hardest absence-detection instance).
+[[nodiscard]] std::vector<PlState> leaderless_consistent(const PlParams& p,
+                                                         int clock);
+
+/// Every agent a shielded leader (maximal elimination workload).
+[[nodiscard]] std::vector<PlState> all_leaders(const PlParams& p);
+
+/// All-zero configuration: leaderless, every variable 0 (dist chain broken
+/// everywhere; exercises dist-detection, line 6).
+[[nodiscard]] std::vector<PlState> all_zero(const PlParams& p);
+
+/// Leaderless, construction-mode everywhere, with maximal resetting signals
+/// (signalR = kappa_max at every agent): the detection machinery must first
+/// drain all stale signals (Lemma 3.11) before clocks can rise.
+[[nodiscard]] std::vector<PlState> stale_signals_everywhere(const PlParams& p);
+
+/// Invalid tokens at every agent plus inconsistent leader/bullet/shield data
+/// (the paper's lines 32-33 cleanup must dispose of all of it).
+[[nodiscard]] std::vector<PlState> token_garbage(const PlParams& p,
+                                                 core::Xoshiro256pp& rng);
+
+/// Corrupt `faults` distinct agents of `config` with uniformly random states
+/// (fault-injection after reaching a safe configuration).
+void corrupt(std::vector<PlState>& config, const PlParams& p, int faults,
+             core::Xoshiro256pp& rng);
+
+/// One uniformly random agent state (shared by random_config/corrupt).
+[[nodiscard]] PlState random_state(const PlParams& p,
+                                   core::Xoshiro256pp& rng);
+
+}  // namespace ppsim::pl

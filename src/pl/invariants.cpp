@@ -1,0 +1,255 @@
+#include "pl/invariants.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/ring.hpp"
+
+namespace ppsim::pl {
+
+using core::ring_add;
+using core::ring_distance;
+
+std::vector<int> leader_positions(Config c) {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(c.size()); ++i)
+    if (c[static_cast<std::size_t>(i)].leader == 1) out.push_back(i);
+  return out;
+}
+
+int count_leaders(Config c) {
+  int k = 0;
+  for (const PlState& s : c) k += s.leader == 1 ? 1 : 0;
+  return k;
+}
+
+bool satisfies_condition1(Config c, const PlParams& p) {
+  const int n = static_cast<int>(c.size());
+  for (int i = 0; i < n; ++i) {
+    const PlState& cur = c[static_cast<std::size_t>(i)];
+    const PlState& left = c[static_cast<std::size_t>(ring_add(i, -1, n))];
+    const int expected =
+        cur.leader == 1 ? 0 : (static_cast<int>(left.dist) + 1) % p.two_psi();
+    if (static_cast<int>(cur.dist) != expected) return false;
+  }
+  return true;
+}
+
+bool is_border(const PlState& s, const PlParams& p) {
+  return static_cast<int>(s.dist) == 0 || static_cast<int>(s.dist) == p.psi;
+}
+
+std::vector<SegmentView> decompose_segments(Config c, const PlParams& p) {
+  const int n = static_cast<int>(c.size());
+  std::vector<int> borders;
+  for (int i = 0; i < n; ++i)
+    if (is_border(c[static_cast<std::size_t>(i)], p)) borders.push_back(i);
+  std::vector<SegmentView> out;
+  out.reserve(borders.size());
+  for (std::size_t bi = 0; bi < borders.size(); ++bi) {
+    const int start = borders[bi];
+    const int next = borders[(bi + 1) % borders.size()];
+    int length = ring_distance(start, next, n);
+    if (length == 0) length = n;  // single border: one segment, whole ring
+    SegmentView seg;
+    seg.start = start;
+    seg.length = length;
+    unsigned long long id = 0;
+    for (int j = length - 1; j >= 0; --j) {
+      id = id * 2 + c[static_cast<std::size_t>(ring_add(start, j, n))].b;
+      if (id > (1ULL << 62)) {  // saturate: longer than any real segment
+        id = 1ULL << 62;
+        break;
+      }
+    }
+    seg.id = id;
+    out.push_back(seg);
+  }
+  return out;
+}
+
+bool satisfies_condition2(Config c, const PlParams& p) {
+  const auto segments = decompose_segments(c, p);
+  if (segments.empty()) return true;  // no borders => no segments: vacuous
+  const int n = static_cast<int>(c.size());
+  const auto modulus = static_cast<unsigned long long>(p.id_modulus());
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    const SegmentView& seg = segments[si];
+    const SegmentView& prev =
+        segments[(si + segments.size() - 1) % segments.size()];
+    const int after = ring_add(seg.start, seg.length, n);
+    const bool exempt =
+        c[static_cast<std::size_t>(seg.start)].leader == 1 ||
+        c[static_cast<std::size_t>(after)].leader == 1;
+    if (exempt) continue;
+    if (seg.id != (prev.id + 1) % modulus) return false;
+  }
+  return true;
+}
+
+bool is_perfect(Config c, const PlParams& p) {
+  return satisfies_condition1(c, p) && satisfies_condition2(c, p);
+}
+
+bool token_valid(const PlState& host, const Token& t, int d,
+                 const PlParams& p) {
+  return t.exists() && !detail::invalid_token(host, t, d, p);
+}
+
+namespace {
+
+/// Resolve the working-pair geometry of a valid token in the C_DL layout.
+/// Returns false when the geometry does not embed in the ring without
+/// wrapping past the leader.
+struct TokenGeometry {
+  int pair_start = 0;  ///< absolute index of the border opening S_i
+  int round = 0;       ///< x: the round the token is in
+};
+
+bool resolve_geometry(Config c, const PlParams& p, int host, const Token& t,
+                      int d, int leader_pos, TokenGeometry& g) {
+  const int n = static_cast<int>(c.size());
+  const PlState& h = c[static_cast<std::size_t>(host)];
+  if (!token_valid(h, t, d, p)) return false;
+  const int tau =
+      detail::mod_2psi(static_cast<int>(h.dist) + t.pos + d, p.two_psi());
+  int target_offset_in_pair;  // offset of the target from the pair start
+  if (t.pos > 0) {
+    g.round = tau - p.psi;                       // x in [0, psi-1]
+    target_offset_in_pair = p.psi + g.round;
+  } else {
+    g.round = tau - 1;                           // x in [0, psi-2]
+    target_offset_in_pair = g.round + 1;
+  }
+  const int target_abs = ring_add(host, t.pos, n);
+  g.pair_start = ring_add(target_abs, -target_offset_in_pair, n);
+
+  // The pair must sit at a segment boundary of the right color and contain
+  // the host without wrapping past the leader.
+  const int rel_start = ring_distance(leader_pos, g.pair_start, n);
+  if (rel_start % p.psi != 0) return false;
+  if ((rel_start % p.two_psi()) != d) return false;
+  const int host_off = ring_distance(leader_pos, host, n) - rel_start;
+  if (host_off < 0 || host_off > p.two_psi() - 1) return false;
+  const int tgt_off = ring_distance(leader_pos, target_abs, n) - rel_start;
+  if (tgt_off != target_offset_in_pair) return false;
+  return true;
+}
+
+}  // namespace
+
+bool token_correct(Config c, const PlParams& p, int host, bool black,
+                   int leader_pos) {
+  const int n = static_cast<int>(c.size());
+  const PlState& h = c[static_cast<std::size_t>(host)];
+  const Token& t = black ? h.token_b : h.token_w;
+  const int d = black ? 0 : p.psi;
+  TokenGeometry g;
+  if (!resolve_geometry(c, p, host, t, d, leader_pos, g)) return false;
+
+  // j = index of the first 0 bit of S_i (psi if all ones).
+  int j = p.psi;
+  for (int idx = 0; idx < p.psi; ++idx) {
+    if (c[static_cast<std::size_t>(ring_add(g.pair_start, idx, n))].b == 0) {
+      j = idx;
+      break;
+    }
+  }
+  const int x = g.round;
+  // During round x the token carries the increment's result bit x and the
+  // carry *after* consuming bit x:
+  //   value = b_x XOR carry_x,   carry-field = carry_{x+1},
+  // with carry_x = [x <= j] and carry_{x+1} = [x < j]. (Def. 4.3 with the
+  // carry-phase fix; forced by lines 13 and 27, see DESIGN.md §2.1(5).)
+  const int b_x =
+      c[static_cast<std::size_t>(ring_add(g.pair_start, x, n))].b;
+  const int carry_x = x <= j ? 1 : 0;
+  const int carry_next = x < j ? 1 : 0;
+  return static_cast<int>(t.carry) == carry_next &&
+         static_cast<int>(t.value) == (b_x ^ carry_x);
+}
+
+bool live_bullet_peaceful(Config c, int i) {
+  const int n = static_cast<int>(c.size());
+  // Walk left from u_i to the nearest leader; every agent on the way
+  // (including u_i and the leader) must carry no bullet-absence signal, and
+  // the leader must be shielded.
+  for (int jj = 0; jj < n; ++jj) {
+    const int idx = ring_add(i, -jj, n);
+    const PlState& s = c[static_cast<std::size_t>(idx)];
+    if (s.signal_b != 0) return false;
+    if (s.leader == 1) return s.shield == 1;
+  }
+  return false;  // no leader: d_LL(i) = infinity, not peaceful
+}
+
+bool in_cpb(Config c) {
+  if (count_leaders(c) < 1) return false;
+  for (int i = 0; i < static_cast<int>(c.size()); ++i)
+    if (c[static_cast<std::size_t>(i)].bullet == common::kLiveBullet &&
+        !live_bullet_peaceful(c, i))
+      return false;
+  return true;
+}
+
+bool in_cdl_layout(Config c, const PlParams& p, int leader_pos) {
+  const int n = static_cast<int>(c.size());
+  const int last_from = p.psi * (p.zeta() - 1);
+  for (int i = 0; i < n; ++i) {
+    const PlState& s = c[static_cast<std::size_t>(ring_add(leader_pos, i, n))];
+    if (static_cast<int>(s.dist) != i % p.two_psi()) return false;
+    const bool want_last = i >= last_from;
+    if ((s.last == 1) != want_last) return false;
+  }
+  return true;
+}
+
+SafetyVerdict check_safe(Config c, const PlParams& p) {
+  const int n = static_cast<int>(c.size());
+  const auto leaders = leader_positions(c);
+  if (leaders.size() != 1)
+    return {false, "leader count != 1 (" +
+                       std::to_string(leaders.size()) + ")"};
+  const int k = leaders.front();
+  if (!in_cdl_layout(c, p, k)) return {false, "dist/last layout not C_DL"};
+  for (int i = 0; i < n; ++i)
+    if (c[static_cast<std::size_t>(i)].bullet == common::kLiveBullet &&
+        !live_bullet_peaceful(c, i))
+      return {false, "non-peaceful live bullet at " + std::to_string(i)};
+
+  for (int i = 0; i < n; ++i) {
+    const PlState& s = c[static_cast<std::size_t>(i)];
+    for (bool black : {true, false}) {
+      const Token& t = black ? s.token_b : s.token_w;
+      if (!t.exists()) continue;
+      if (s.last == 1)
+        return {false, "token hosted in the last segment at " +
+                           std::to_string(i)};
+      if (!token_correct(c, p, i, black, k))
+        return {false, std::string(black ? "black" : "white") +
+                           " token invalid/incorrect at " + std::to_string(i)};
+    }
+  }
+
+  // Segment IDs consecutive for i in [0, zeta-3].
+  const auto modulus = static_cast<unsigned long long>(p.id_modulus());
+  const int zeta = p.zeta();
+  auto segment_id = [&](int seg_index) {
+    unsigned long long id = 0;
+    for (int j = p.psi - 1; j >= 0; --j)
+      id = id * 2 +
+           c[static_cast<std::size_t>(ring_add(k, seg_index * p.psi + j, n))]
+               .b;
+    return id;
+  };
+  for (int i = 0; i + 1 <= zeta - 2; ++i) {
+    if (segment_id(i + 1) != (segment_id(i) + 1) % modulus)
+      return {false,
+              "segment IDs not consecutive at pair " + std::to_string(i)};
+  }
+  return {true, ""};
+}
+
+bool is_safe(Config c, const PlParams& p) { return check_safe(c, p).safe; }
+
+}  // namespace ppsim::pl

@@ -1,0 +1,107 @@
+// Configuration predicates for P_PL, mirroring the paper's Section 3/4
+// machinery:
+//
+//   * perfection — conditions (1) and (2) on dist/segment IDs
+//   * token validity (Def. 3.3) and correctness (Def. 4.3)
+//   * peaceful live bullets (C_PB)
+//   * the C_DL layout and the safe set S_PL (Def. 4.6)
+//
+// These are measurement/verification tools of the harness, not part of the
+// protocol itself: convergence time is *defined* as first entry into S_PL.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pl/params.hpp"
+#include "pl/protocol.hpp"
+#include "pl/state.hpp"
+
+namespace ppsim::pl {
+
+using Config = std::span<const PlState>;
+
+[[nodiscard]] std::vector<int> leader_positions(Config c);
+[[nodiscard]] int count_leaders(Config c);
+
+/// Condition (1): u_i.dist == 0 if u_i is a leader, else
+/// (u_{i-1}.dist + 1) mod 2psi — checked for every agent.
+[[nodiscard]] bool satisfies_condition1(Config c, const PlParams& p);
+
+/// A border is an agent with dist in {0, psi}.
+[[nodiscard]] bool is_border(const PlState& s, const PlParams& p);
+
+/// Segment decomposition by borders, in ring order starting from the first
+/// border at or after index 0. Empty if the configuration has no border.
+struct SegmentView {
+  int start = 0;             ///< index of the border agent opening the segment
+  int length = 0;            ///< number of agents up to (excl.) the next border
+  unsigned long long id = 0; ///< iota(S): bits b_{start..start+len-1}, LSB first
+};
+[[nodiscard]] std::vector<SegmentView> decompose_segments(Config c,
+                                                          const PlParams& p);
+
+/// Condition (2): every segment S satisfies
+/// iota(S) == (iota(prev(S)) + 1) mod 2^psi, unless S starts with a leader or
+/// the border agent following S is a leader.
+[[nodiscard]] bool satisfies_condition2(Config c, const PlParams& p);
+
+/// Perfect configuration: no violation of (1) or (2). Lemma 3.2: a
+/// configuration without a leader is never perfect.
+[[nodiscard]] bool is_perfect(Config c, const PlParams& p);
+
+/// Token validity (Def. 3.3, interval sense per DESIGN.md §2.1(1)).
+[[nodiscard]] bool token_valid(const PlState& host, const Token& t, int d,
+                               const PlParams& p);
+
+/// Token correctness (Def. 4.3, carry-phase fix per DESIGN.md §2.1(5)).
+/// Defined relative to the C_DL layout anchored at `leader_pos`; returns
+/// false when the token's working-pair geometry is broken.
+[[nodiscard]] bool token_correct(Config c, const PlParams& p, int host,
+                                 bool black, int leader_pos);
+
+/// Peaceful(i) for the live bullet at u_i (general, multi-leader form): its
+/// nearest left leader exists, is shielded, and no bullet-absence signal
+/// lies on the path from that leader to u_i.
+[[nodiscard]] bool live_bullet_peaceful(Config c, int i);
+
+/// C_PB: at least one leader and every live bullet is peaceful.
+[[nodiscard]] bool in_cpb(Config c);
+
+/// C_DL dist/last layout relative to the unique leader at `leader_pos`:
+/// dist(u_{k+i}) == i mod 2psi and last == 1 iff i in [psi*(zeta-1), n-1].
+[[nodiscard]] bool in_cdl_layout(Config c, const PlParams& p, int leader_pos);
+
+/// Membership in the safe set S_PL (Def. 4.6) with a human-readable reason
+/// on failure.
+struct SafetyVerdict {
+  bool safe = false;
+  std::string reason;
+};
+[[nodiscard]] SafetyVerdict check_safe(Config c, const PlParams& p);
+[[nodiscard]] bool is_safe(Config c, const PlParams& p);
+
+/// Predicates in the shape core::Runner::run_until expects.
+struct SafePredicate {
+  bool operator()(Config c, const PlParams& p) const { return is_safe(c, p); }
+};
+struct UniqueLeaderPredicate {
+  bool operator()(Config c, const PlParams&) const {
+    return count_leaders(c) == 1;
+  }
+};
+struct AnyLeaderPredicate {
+  bool operator()(Config c, const PlParams&) const {
+    return count_leaders(c) >= 1;
+  }
+};
+struct AllDetectPredicate {
+  bool operator()(Config c, const PlParams& p) const {
+    for (const PlState& s : c)
+      if (!in_detect_mode(s, p.kappa_max)) return false;
+    return true;
+  }
+};
+
+}  // namespace ppsim::pl

@@ -1,0 +1,39 @@
+#include "pl/safe_config.hpp"
+
+#include "core/ring.hpp"
+
+namespace ppsim::pl {
+
+std::vector<PlState> make_safe_config(const PlParams& p, int leader_pos,
+                                      long long first_id) {
+  const int n = p.n;
+  const int zeta = p.zeta();
+  std::vector<PlState> c(static_cast<std::size_t>(n));
+  const long long modulus = p.id_modulus();
+  first_id = ((first_id % modulus) + modulus) % modulus;
+
+  for (int i = 0; i < n; ++i) {
+    const int idx = core::ring_add(leader_pos, i, n);
+    PlState& s = c[static_cast<std::size_t>(idx)];
+    s.leader = i == 0 ? 1 : 0;
+    s.dist = static_cast<std::uint16_t>(i % p.two_psi());
+    s.last = i >= p.psi * (zeta - 1) ? 1 : 0;
+    const int seg = i / p.psi;
+    const int bit = i % p.psi;
+    // Segments 0..zeta-2 carry consecutive IDs; the (unconstrained) last
+    // segment continues the pattern for definiteness.
+    const long long id = (first_id + seg) % modulus;
+    s.b = static_cast<std::uint8_t>((id >> bit) & 1);
+    s.shield = i == 0 ? 1 : 0;
+  }
+  return c;
+}
+
+std::vector<PlState> make_fresh_config(const PlParams& p, int leader_pos) {
+  std::vector<PlState> c(static_cast<std::size_t>(p.n));
+  c[static_cast<std::size_t>(leader_pos)].leader = 1;
+  c[static_cast<std::size_t>(leader_pos)].shield = 1;
+  return c;
+}
+
+}  // namespace ppsim::pl

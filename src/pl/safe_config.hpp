@@ -1,0 +1,28 @@
+// Constructors of reference configurations for P_PL:
+//
+//  * a canonical member of the safe set S_PL (used by the closure tests and
+//    by fault-injection experiments), and
+//  * a "fresh" single-leader configuration (leader present, everything else
+//    zeroed) from which the construction phase of Fig. 1 is measured.
+#pragma once
+
+#include <vector>
+
+#include "pl/params.hpp"
+#include "pl/state.hpp"
+
+namespace ppsim::pl {
+
+/// A configuration in S_PL with the unique leader at `leader_pos` and
+/// iota(S_0) = first_id mod 2^psi. dist/last follow C_DL; segment IDs are
+/// consecutive; no tokens, bullets or signals exist; the leader is shielded.
+[[nodiscard]] std::vector<PlState> make_safe_config(const PlParams& p,
+                                                    int leader_pos = 0,
+                                                    long long first_id = 0);
+
+/// Single leader at `leader_pos`, all other variables zero — a plausible
+/// "deployment" initial configuration (not safe; construction must run).
+[[nodiscard]] std::vector<PlState> make_fresh_config(const PlParams& p,
+                                                     int leader_pos = 0);
+
+}  // namespace ppsim::pl

@@ -1,0 +1,143 @@
+// Analysis layer: experiment driver, scaling fits, state accounting and the
+// injective state packing used by the empirical state-usage audit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "analysis/experiment.hpp"
+#include "analysis/scaling.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+#include "pl/safe_config.hpp"
+
+namespace ppsim::analysis {
+namespace {
+
+TEST(Experiment, MeasureConvergenceCollectsAllTrials) {
+  const auto p = pl::PlParams::make(8, 2);
+  const auto stats = measure_convergence<pl::PlProtocol>(
+      p, [&](core::Xoshiro256pp&) { return pl::make_fresh_config(p); },
+      pl::SafePredicate{}, 6, 50'000'000ULL, 1, 1);
+  EXPECT_EQ(stats.trials, 6);
+  EXPECT_EQ(stats.failures, 0);
+  EXPECT_EQ(stats.raw.size(), 6u);
+  EXPECT_GT(stats.steps.median, 0.0);
+}
+
+TEST(Experiment, FailuresCountedWhenBudgetTooSmall) {
+  const auto p = pl::PlParams::make(16, 4);
+  core::Xoshiro256pp seed_rng(9);
+  const auto stats = measure_convergence<pl::PlProtocol>(
+      p, [&](core::Xoshiro256pp& rng) { return pl::random_config(p, rng); },
+      pl::SafePredicate{}, 4, /*max_steps=*/10, 2, 2);
+  EXPECT_EQ(stats.failures, 4);
+  EXPECT_TRUE(stats.raw.empty());
+}
+
+TEST(Experiment, SeedsDecorrelateTrials) {
+  const auto p = pl::PlParams::make(12, 4);
+  const auto stats = measure_convergence<pl::PlProtocol>(
+      p, [&](core::Xoshiro256pp& rng) { return pl::random_config(p, rng); },
+      pl::SafePredicate{}, 8, 100'000'000ULL, 3, 3);
+  ASSERT_EQ(stats.raw.size(), 8u);
+  std::unordered_set<std::uint64_t> distinct(stats.raw.begin(),
+                                             stats.raw.end());
+  EXPECT_GT(distinct.size(), 1u);  // identical seeds would all coincide
+}
+
+TEST(Scaling, FitRecoversQuadratic) {
+  std::vector<ScalingPoint> pts;
+  for (int n : {8, 16, 32, 64}) {
+    ScalingPoint pt;
+    pt.n = n;
+    pt.stats.raw = {static_cast<std::uint64_t>(5.0 * n * n)};
+    pt.stats.steps = core::summarize_u64(pt.stats.raw);
+    pts.push_back(pt);
+  }
+  const auto fit = fit_median_scaling(pts);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-6);
+  EXPECT_NEAR(fit.constant, 5.0, 1e-3);
+}
+
+TEST(Scaling, Normalizations) {
+  ScalingPoint pt;
+  pt.n = 16;
+  pt.stats.raw = {1024};
+  pt.stats.steps = core::summarize_u64(pt.stats.raw);
+  EXPECT_DOUBLE_EQ(normalized_n2(pt), 4.0);
+  EXPECT_DOUBLE_EQ(normalized_n3(pt), 0.25);
+  EXPECT_DOUBLE_EQ(normalized_n2logn(pt), 1.0);  // lg 16 = 4
+}
+
+TEST(StateCount, PlIsPolylog) {
+  // The polylog signature: |Q| is polynomial in psi = Theta(log n), i.e.
+  // log|Q| ~ 6 log psi + O(1). Fit |Q| against psi on a log-log axis: the
+  // exponent must land near 6 (dist * tokens^2 * clock * hits * signalR).
+  std::vector<double> psis, qs;
+  for (int e : {8, 12, 16, 20, 24, 30}) {
+    const auto p = pl::PlParams::make(1 << e, 32);
+    psis.push_back(static_cast<double>(p.psi));
+    qs.push_back(pl_state_count(p).states);
+  }
+  const auto fit = core::fit_power(psis, qs);
+  EXPECT_GT(fit.exponent, 5.5);
+  EXPECT_LT(fit.exponent, 6.5);
+  EXPECT_GT(fit.r2, 0.999);
+  // ... while yokota28's |Q| is linear in n.
+  std::vector<double> ns2, qs2;
+  for (int e : {8, 12, 16, 20, 24}) {
+    ns2.push_back(std::pow(2.0, e));
+    qs2.push_back(y28_state_count(1 << e).states);
+  }
+  const auto fit2 = core::fit_power(ns2, qs2);
+  EXPECT_NEAR(fit2.exponent, 1.0, 0.05);
+}
+
+TEST(StateCount, ConstantBaselines) {
+  EXPECT_DOUBLE_EQ(fj_state_count().states, 24.0);
+  EXPECT_DOUBLE_EQ(modk_state_count(2).states, 48.0);
+  EXPECT_DOUBLE_EQ(modk_state_count(3).states, 72.0);
+}
+
+TEST(StateCount, MatchesDeclaredDomainProduct) {
+  const auto p = pl::PlParams::make(16, 4);  // psi 4, kappa 16
+  const double token = 1 + (2 * 4 - 1) * 4;  // 29
+  const double expect = 2 * 2 * 8 * 2 * token * token * 17 * 5 * 17 * 3 * 2 *
+                        2;
+  EXPECT_DOUBLE_EQ(pl_state_count(p).states, expect);
+}
+
+TEST(PackPlState, InjectiveOnRandomStates) {
+  const auto p = pl::PlParams::make(64, 4);
+  core::Xoshiro256pp rng(7);
+  std::unordered_set<std::uint64_t> keys;
+  std::vector<pl::PlState> states;
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = pl::random_state(p, rng);
+    const auto key = pack_pl_state(s, p);
+    const auto [it, inserted] = keys.insert(key);
+    if (!inserted) {
+      // A repeated key must mean a repeated state (collisions forbidden).
+      bool found_equal = false;
+      for (const auto& old : states)
+        if (old == s) found_equal = true;
+      EXPECT_TRUE(found_equal) << "hash collision for distinct states";
+    }
+    states.push_back(s);
+  }
+  EXPECT_GT(keys.size(), 15000u);
+}
+
+TEST(PackPlState, BoundedByDeclaredCount) {
+  const auto p = pl::PlParams::make(32, 4);
+  core::Xoshiro256pp rng(13);
+  const double declared = pl_state_count(p).states;
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = pl::random_state(p, rng);
+    EXPECT_LT(static_cast<double>(pack_pl_state(s, p)), declared);
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::analysis

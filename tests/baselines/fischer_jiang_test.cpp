@@ -1,0 +1,122 @@
+// Baseline [15]: oracle-assisted bullets & shields.
+#include <gtest/gtest.h>
+
+#include "baselines/fischer_jiang.hpp"
+#include "core/runner.hpp"
+
+namespace ppsim::baselines {
+namespace {
+
+TEST(Fj, OracleCreatesLeaderWhenNoneExists) {
+  const FjParams p = FjParams::make(8);
+  core::Runner<FischerJiang> run(p, std::vector<FjState>(8), 1);
+  EXPECT_EQ(run.leader_count(), 0);
+  run.step();
+  EXPECT_EQ(run.leader_count(), 1);
+}
+
+TEST(Fj, OracleSilentWithLeader) {
+  const FjParams p = FjParams::make(8);
+  std::vector<FjState> c(8);
+  c[0].leader = 1;
+  c[0].shield = 1;
+  core::Runner<FischerJiang> run(p, c, 1);
+  run.run(100'000);
+  EXPECT_GE(run.leader_count(), 1);
+}
+
+TEST(Fj, ArmedLeaderFiresWithRoleCoin) {
+  const FjParams p = FjParams::make(8);
+  core::InteractionContext quiet;  // leaders & bullets exist: oracle silent
+  {
+    FjState l, r;
+    l.leader = 1;
+    l.armed = 1;
+    FischerJiang::apply(l, r, p, quiet);
+    EXPECT_EQ(l.shield, 1);  // initiator fired live...
+    EXPECT_EQ(l.armed, 0);
+    EXPECT_EQ(l.bullet, 0);  // ...and the bullet advanced within the same
+    EXPECT_EQ(r.bullet, 2);  // interaction.
+  }
+  {
+    FjState l, r;
+    r.leader = 1;
+    r.armed = 1;
+    r.shield = 1;
+    l.bullet = 1;
+    FischerJiang::apply(l, r, p, quiet);
+    EXPECT_EQ(r.shield, 0);  // responder fired dummy
+    EXPECT_EQ(r.bullet, 1);
+  }
+}
+
+TEST(Fj, AbsorptionRearmsLeader) {
+  const FjParams p = FjParams::make(8);
+  core::InteractionContext quiet;
+  FjState l, r;
+  l.bullet = 1;
+  r.leader = 1;
+  r.shield = 1;
+  FischerJiang::apply(l, r, p, quiet);
+  EXPECT_EQ(l.bullet, 0);
+  EXPECT_EQ(r.armed, 1);
+  EXPECT_EQ(r.leader, 1);
+}
+
+TEST(Fj, LiveBulletKillsUnshielded) {
+  const FjParams p = FjParams::make(8);
+  core::InteractionContext quiet;
+  FjState l, r;
+  l.bullet = 2;
+  r.leader = 1;
+  r.shield = 0;
+  FischerJiang::apply(l, r, p, quiet);
+  EXPECT_EQ(r.leader, 0);
+  EXPECT_EQ(r.armed, 0);
+}
+
+class FjConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FjConvergence, RandomConfigurationsConverge) {
+  const int n = GetParam();
+  const FjParams p = FjParams::make(n);
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    core::Xoshiro256pp rng(seed);
+    core::Runner<FischerJiang> run(p, fj_random_config(p, rng), seed);
+    const std::uint64_t budget =
+        2000ULL * static_cast<std::uint64_t>(n) *
+            static_cast<std::uint64_t>(n) +
+        500'000;
+    const auto hit = run.run_until(
+        [](std::span<const FjState> c, const FjParams& pp) {
+          return fj_is_safe(c, pp);
+        },
+        budget);
+    ASSERT_TRUE(hit.has_value()) << "n=" << n << " seed=" << seed;
+    // Leader survives a long follow-up.
+    const int before = run.leader_count();
+    run.run(200'000);
+    EXPECT_EQ(run.leader_count(), before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, FjConvergence,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(Fj, StaysUniqueOverLongHorizon) {
+  const FjParams p = FjParams::make(16);
+  core::Xoshiro256pp rng(7);
+  core::Runner<FischerJiang> run(p, fj_random_config(p, rng), 7);
+  (void)run.run_until(
+      [](std::span<const FjState> c, const FjParams& pp) {
+        return fj_is_safe(c, pp);
+      },
+      5'000'000);
+  // After stabilization the leader identity must not change.
+  const auto before = run.last_leader_change();
+  run.run(1'000'000);
+  EXPECT_EQ(run.last_leader_change(), before);
+}
+
+}  // namespace
+}  // namespace ppsim::baselines

@@ -1,0 +1,86 @@
+// Dynamics of the modk reconstruction: leadership relocation (the mechanism
+// that aligns gaps with the modulus) and the promotion ripple.
+#include <gtest/gtest.h>
+
+#include "baselines/modk.hpp"
+#include "core/runner.hpp"
+
+namespace ppsim::baselines {
+namespace {
+
+TEST(ModkDynamics, KillWithNonzeroLabelTriggersRelocation) {
+  // A kill that rewrites the victim's label to a nonzero value creates a
+  // violation at the victim's right pair, which then promotes the right
+  // neighbor: net effect, leadership relocated one step clockwise.
+  const ModkParams p = ModkParams::make(5, 2);
+  std::vector<ModkState> c(5);
+  // Leader at u_0 (lab 0), consistent labels 0,1,0,1,...: n odd so the wrap
+  // pair (u_4, u_0) is absorbed by the leader rule.
+  c[0].leader = 1;
+  c[0].shield = 0;  // deliberately vulnerable
+  for (int i = 1; i < 5; ++i)
+    c[static_cast<std::size_t>(i)].lab = static_cast<std::uint8_t>(i % 2);
+  // Stale live bullet just left of the leader.
+  c[4].bullet = 2;
+  core::Runner<Modk> run(p, c, 1);
+  run.apply_arc(4);  // bullet hits u_0: killed, lab <- (lab(u_4)+1)%2 = 1
+  EXPECT_EQ(run.agent(0).leader, 0);
+  EXPECT_EQ(run.agent(0).lab, 1);
+  // Pair (u_0, u_1): lab(u_1) = 1 != (1+1)%2 = 0 -> violation: promotion.
+  run.apply_arc(0);
+  EXPECT_EQ(run.agent(1).leader, 1);
+  EXPECT_EQ(run.agent(1).lab, 0);
+  EXPECT_EQ(run.agent(1).shield, 1);  // promoted leaders are born shielded
+}
+
+TEST(ModkDynamics, PromotionRippleIsBounded) {
+  // A promotion writes lab 0, which may promote the next agent, and so on;
+  // the ripple must terminate (leaders are exempt from the violation rule)
+  // and elimination then reduces the leader count to one.
+  const ModkParams p = ModkParams::make(9, 2);
+  std::vector<ModkState> c(9);
+  for (int i = 0; i < 9; ++i)
+    c[static_cast<std::size_t>(i)].lab =
+        static_cast<std::uint8_t>((i * 3 + 1) % 2);  // garbage labels
+  core::Runner<Modk> run(p, c, 2);
+  const auto hit = run.run_until(
+      [](std::span<const ModkState> cc, const ModkParams& pp) {
+        return modk_is_safe(cc, pp);
+      },
+      50'000'000ULL);
+  ASSERT_TRUE(hit.has_value());
+  run.run(100'000);
+  EXPECT_EQ(run.leader_count(), 1);
+}
+
+TEST(ModkDynamics, LoneShieldedLeaderNeverRelocates) {
+  // The C_PB-style argument: a lone leader is shielded whenever its own live
+  // bullet is in flight, so in a clean configuration leadership never moves.
+  const ModkParams p = ModkParams::make(7, 2);
+  std::vector<ModkState> c(7);
+  c[0].leader = 1;
+  c[0].shield = 1;
+  for (int i = 0; i < 7; ++i)
+    c[static_cast<std::size_t>(i)].lab = static_cast<std::uint8_t>(i % 2);
+  core::Runner<Modk> run(p, c, 3);
+  run.run(3'000'000);
+  EXPECT_EQ(run.agent(0).leader, 1);
+  EXPECT_EQ(run.last_leader_change(), 0u);
+}
+
+TEST(ModkDynamics, LargerModulusWorks) {
+  const ModkParams p = ModkParams::make(8, 3);  // 8 not a multiple of 3
+  core::Xoshiro256pp rng(5);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    core::Runner<Modk> run(p, modk_random_config(p, rng), seed);
+    const auto hit = run.run_until(
+        [](std::span<const ModkState> cc, const ModkParams& pp) {
+          return modk_is_safe(cc, pp);
+        },
+        50'000'000ULL);
+    ASSERT_TRUE(hit.has_value()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::baselines

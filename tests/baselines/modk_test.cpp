@@ -1,0 +1,155 @@
+// Baseline [5] reconstruction: mod-k labels + bullets/shields. The exhaustive
+// model check is the headline: every one of the 48^3 configurations on a
+// 3-ring (k=2) converges with probability 1 to a constant unique leader.
+#include <gtest/gtest.h>
+
+#include "baselines/modk.hpp"
+#include "core/model_checker.hpp"
+#include "core/runner.hpp"
+
+namespace ppsim::baselines {
+namespace {
+
+TEST(ModkParams, RejectsMultiples) {
+  EXPECT_THROW((void)ModkParams::make(4, 2), std::invalid_argument);
+  EXPECT_THROW((void)ModkParams::make(9, 3), std::invalid_argument);
+  EXPECT_NO_THROW((void)ModkParams::make(5, 2));
+  EXPECT_NO_THROW((void)ModkParams::make(5, 3));
+}
+
+TEST(Modk, ViolatingResponderPromotes) {
+  const ModkParams p = ModkParams::make(5, 2);
+  ModkState l, r;
+  l.lab = 0;
+  r.lab = 0;  // expected 1: violation
+  Modk::apply(l, r, p);
+  EXPECT_EQ(r.leader, 1);
+  EXPECT_EQ(r.lab, 0);
+  EXPECT_EQ(r.shield, 1);
+  EXPECT_EQ(r.bullet, 2);
+}
+
+TEST(Modk, ConsistentPairStaysQuiet) {
+  const ModkParams p = ModkParams::make(5, 2);
+  ModkState l, r;
+  l.lab = 0;
+  r.lab = 1;
+  Modk::apply(l, r, p);
+  EXPECT_EQ(r.leader, 0);
+}
+
+TEST(Modk, LeaderLabelPinnedAtZero) {
+  const ModkParams p = ModkParams::make(5, 2);
+  ModkState l, r;
+  r.leader = 1;
+  r.lab = 1;
+  Modk::apply(l, r, p);
+  EXPECT_EQ(r.lab, 0);
+}
+
+TEST(Modk, KillRewritesLabelLeftConsistently) {
+  const ModkParams p = ModkParams::make(7, 2);
+  ModkState l, r;
+  l.lab = 1;
+  l.bullet = 2;
+  r.leader = 1;
+  r.shield = 0;
+  r.lab = 0;
+  Modk::apply(l, r, p);
+  EXPECT_EQ(r.leader, 0);
+  EXPECT_EQ(r.lab, 0);  // (1+1) mod 2: left-consistent
+  EXPECT_EQ(l.bullet, 0);
+}
+
+TEST(ModkModelCheck, ExhaustiveSelfStabilizationN3K2) {
+  // All 110,592 configurations: every bottom SCC must hold exactly one
+  // leader, at a fixed position, with consistent labels forever.
+  const ModkParams p = ModkParams::make(3, 2);
+  core::ModelChecker<ModkModel> mc(p);
+  EXPECT_EQ(mc.num_configurations(), 48ull * 48 * 48);
+  const auto res = mc.check(
+      [](std::span<const ModkState> c, const ModkParams&) {
+        std::uint32_t bits = 0;
+        for (std::size_t i = 0; i < c.size(); ++i)
+          bits |= static_cast<std::uint32_t>(c[i].leader) << i;
+        return bits;
+      },
+      [](std::uint32_t bits) {
+        int leaders = 0;
+        for (int i = 0; i < 3; ++i) leaders += (bits >> i) & 1;
+        return leaders == 1;
+      });
+  EXPECT_TRUE(res.ok) << res.reason << " cx="
+                      << (res.counterexample ? *res.counterexample : 0);
+  EXPECT_GT(res.num_bottom_sccs, 0u);
+}
+
+class ModkConvergence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ModkConvergence, RandomConfigurationsConverge) {
+  const auto [n, k] = GetParam();
+  const ModkParams p = ModkParams::make(n, k);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    core::Xoshiro256pp rng(seed);
+    core::Runner<Modk> run(p, modk_random_config(p, rng), seed);
+    const std::uint64_t budget =
+        4000ULL * static_cast<std::uint64_t>(n) *
+            static_cast<std::uint64_t>(n) +
+        1'000'000;
+    const auto hit = run.run_until(
+        [](std::span<const ModkState> c, const ModkParams& pp) {
+          return modk_is_safe(c, pp);
+        },
+        budget);
+    ASSERT_TRUE(hit.has_value()) << "n=" << n << " k=" << k
+                                 << " seed=" << seed;
+    run.run(100'000);
+    EXPECT_TRUE(modk_is_safe(run.agents(), p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, ModkConvergence,
+                         ::testing::Values(std::tuple{5, 2}, std::tuple{7, 2},
+                                           std::tuple{9, 2}, std::tuple{15, 2},
+                                           std::tuple{31, 2}, std::tuple{4, 3},
+                                           std::tuple{5, 3},
+                                           std::tuple{16, 3}));
+
+TEST(Modk, LeaderlessAlwaysHasViolation) {
+  // The impossibility-breaking invariant: no leaderless labeling of a ring
+  // with n % k != 0 is globally consistent. Exhaustive over labelings for
+  // small n.
+  for (int n : {3, 5, 7}) {
+    const int k = 2;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      bool consistent = true;
+      for (int i = 0; i < n; ++i) {
+        const int lab_i = (mask >> i) & 1;
+        const int lab_next = (mask >> ((i + 1) % n)) & 1;
+        if (lab_next != (lab_i + 1) % k) {
+          consistent = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(consistent) << "n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST(Modk, ClosureFromSafeConfig) {
+  const ModkParams p = ModkParams::make(9, 2);
+  std::vector<ModkState> c(9);
+  c[0].leader = 1;
+  c[0].shield = 1;
+  for (int i = 0; i < 9; ++i)
+    c[static_cast<std::size_t>(i)].lab = static_cast<std::uint8_t>(i % 2);
+  ASSERT_TRUE(modk_is_safe(c, p));
+  core::Runner<Modk> run(p, c, 2);
+  run.run(3'000'000);
+  EXPECT_EQ(run.last_leader_change(), 0u);
+  EXPECT_TRUE(modk_is_safe(run.agents(), p));
+}
+
+}  // namespace
+}  // namespace ppsim::baselines

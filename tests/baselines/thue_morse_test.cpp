@@ -1,0 +1,91 @@
+// Thue–Morse substrate (baseline [11]): cube-freeness of the prefix vs the
+// guaranteed cube in any leaderless periodic labeling — the Chen–Chen
+// detection principle.
+#include <gtest/gtest.h>
+
+#include "baselines/thue_morse.hpp"
+
+namespace ppsim::baselines {
+namespace {
+
+TEST(ThueMorse, KnownPrefix) {
+  const auto s = thue_morse_prefix(16);
+  const std::vector<std::uint8_t> expected{0, 1, 1, 0, 1, 0, 0, 1,
+                                           1, 0, 0, 1, 0, 1, 1, 0};
+  EXPECT_EQ(s, expected);
+}
+
+TEST(ThueMorse, RecurrenceHolds) {
+  // s_{2i} = s_i and s_{2i+1} = 1 - s_i.
+  const auto s = thue_morse_prefix(4096);
+  for (std::size_t i = 0; i < 2048; ++i) {
+    EXPECT_EQ(s[2 * i], s[i]);
+    EXPECT_EQ(s[2 * i + 1], 1 - s[i]);
+  }
+}
+
+TEST(ThueMorse, PrefixIsCubeFreeUpTo4096) {
+  EXPECT_FALSE(has_cube(thue_morse_prefix(1024)));
+  EXPECT_FALSE(has_cube(thue_morse_prefix(4096)));
+}
+
+TEST(ThueMorse, CubesAreDetectedWhenPresent) {
+  std::vector<std::uint8_t> s{0, 1, 0, 1, 0, 1};  // (01)^3
+  EXPECT_TRUE(has_cube(s));
+  std::vector<std::uint8_t> t{1, 1, 1};
+  EXPECT_TRUE(has_cube(t));
+  std::vector<std::uint8_t> u{0, 1, 1, 0, 1};
+  EXPECT_FALSE(has_cube(u));
+}
+
+TEST(ThueMorse, EveryLeaderlessPeriodicLabelingHasACyclicCube) {
+  // On a leaderless ring the labeling is read as an n-periodic string; the
+  // window w = n always yields a cube. Chen–Chen's detection therefore always
+  // has something to find when the leader is gone — exhaustive for n <= 12.
+  for (int n = 3; n <= 12; ++n) {
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      std::vector<std::uint8_t> ring(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        ring[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((mask >> i) & 1);
+      EXPECT_TRUE(cyclic_has_cube(ring, static_cast<std::size_t>(n)))
+          << "n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST(ThueMorse, SmallWindowsAreInsufficient) {
+  // (01001)^inf has no cube with window <= 3: bounded-window detection is
+  // incomplete, which is why Chen–Chen need unbounded (slowly simulated)
+  // counters — and why their protocol is super-exponential. This pins the
+  // DESIGN.md §2.4 substitution rationale.
+  const std::vector<std::uint8_t> ring{0, 1, 0, 0, 1};
+  EXPECT_FALSE(cyclic_has_cube(ring, 3));
+  EXPECT_TRUE(cyclic_has_cube(ring, 5));  // w = n always works
+}
+
+TEST(ThueMorse, SmallestWindowReported) {
+  const std::vector<std::uint8_t> ring{0, 0, 0, 1};
+  const auto w = smallest_cyclic_cube_window(ring, 4);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, 1u);
+}
+
+TEST(ThueMorse, EmbeddingAnchorsAtLeader) {
+  const auto ring = embed_thue_morse(8, 3);
+  const auto prefix = thue_morse_prefix(8);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(ring[static_cast<std::size_t>((3 + i) % 8)],
+              prefix[static_cast<std::size_t>(i)]);
+}
+
+TEST(ThueMorse, LinearPrefixEmbeddingHasNoShortCyclicCube) {
+  // With a leader anchoring the prefix, cubes shorter than the anchored
+  // prefix structure are absent (the wrap can create cubes only across the
+  // anchor, which the leader's presence excludes from detection).
+  const auto prefix = thue_morse_prefix(64);
+  EXPECT_FALSE(has_cube(prefix));
+}
+
+}  // namespace
+}  // namespace ppsim::baselines

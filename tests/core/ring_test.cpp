@@ -1,0 +1,73 @@
+#include "core/ring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppsim::core {
+namespace {
+
+TEST(RingAdd, WrapsForward) {
+  EXPECT_EQ(ring_add(5, 3, 6), 2);
+  EXPECT_EQ(ring_add(0, 6, 6), 0);
+  EXPECT_EQ(ring_add(0, 13, 6), 1);
+}
+
+TEST(RingAdd, WrapsBackward) {
+  EXPECT_EQ(ring_add(0, -1, 6), 5);
+  EXPECT_EQ(ring_add(2, -9, 6), 5);
+  EXPECT_EQ(ring_add(0, -12, 6), 0);
+}
+
+TEST(RingDistance, Clockwise) {
+  EXPECT_EQ(ring_distance(0, 0, 5), 0);
+  EXPECT_EQ(ring_distance(1, 4, 5), 3);
+  EXPECT_EQ(ring_distance(4, 1, 5), 2);
+}
+
+TEST(CeilLog2, SmallValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1023), 10);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(CeilLog2, PsiAdmitsRingSize) {
+  // 2^psi >= n for psi = ceil_log2(n): the premise of Lemma 3.2.
+  for (std::uint64_t n = 2; n <= 4096; ++n)
+    EXPECT_GE(1ULL << ceil_log2(n), n);
+}
+
+TEST(SeqBuilders, SeqRMatchesDefinition) {
+  // seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}
+  const auto s = seq_r(3, 4, 5);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 0);
+  EXPECT_EQ(s[3], 1);
+}
+
+TEST(SeqBuilders, SeqLMatchesDefinition) {
+  // seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}
+  const auto s = seq_l(1, 3, 5);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 0);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 3);
+}
+
+TEST(SeqBuilders, ConcatAndRepeat) {
+  const auto s = seq_concat(seq_r(0, 2, 4), seq_l(0, 1, 4));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[2], 3);
+  const auto rep = seq_repeat(s, 3);
+  ASSERT_EQ(rep.size(), 9u);
+  EXPECT_EQ(rep[3], s[0]);
+  EXPECT_EQ(rep[8], s[2]);
+}
+
+}  // namespace
+}  // namespace ppsim::core

@@ -1,0 +1,88 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "core/statistics.hpp"
+
+namespace ppsim::core {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, ReproducibleStreams) {
+  Xoshiro256pp a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro, BoundedStaysInRange) {
+  Xoshiro256pp rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      const std::uint64_t v = rng.bounded(bound);
+      ASSERT_LT(v, bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BoundedOneAlwaysZero) {
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro, BoundedIsApproximatelyUniform) {
+  Xoshiro256pp rng(2024);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBuckets)];
+  // chi-square with 15 dof: 99.999-percentile ~ 44; use a generous bound.
+  EXPECT_LT(chi_square_uniform(counts), 60.0);
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256pp rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, CoinIsFair) {
+  Xoshiro256pp rng(31);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.coin() ? 1 : 0;
+  EXPECT_NEAR(heads / 100000.0, 0.5, 0.01);
+}
+
+TEST(DeriveSeed, DistinctPerIndexAndTag) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t tag = 0; tag < 10; ++tag)
+    for (std::uint64_t i = 0; i < 100; ++i)
+      seeds.insert(derive_seed(99, tag, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, StableAcrossCalls) {
+  EXPECT_EQ(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+}
+
+}  // namespace
+}  // namespace ppsim::core

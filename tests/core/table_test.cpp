@@ -1,0 +1,41 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppsim::core {
+namespace {
+
+TEST(Table, MarkdownShape) {
+  Table t({"n", "steps"});
+  t.add_row({"8", "123"});
+  t.add_row({"16", "456"});
+  const std::string s = t.to_string(true);
+  EXPECT_NE(s.find("| n "), std::string::npos);
+  EXPECT_NE(s.find("| 16"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string s = t.to_string(false);
+  EXPECT_NE(s.find('1'), std::string::npos);
+}
+
+TEST(Table, ValueRows) {
+  Table t({"x", "y"});
+  t.add_row_values({1.5, 2.25e6});
+  const std::string s = t.to_string(true);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+TEST(Fmt, Numbers) {
+  EXPECT_EQ(fmt_u64(42), "42");
+  EXPECT_EQ(fmt_double(2.0), "2");
+}
+
+}  // namespace
+}  // namespace ppsim::core

@@ -1,0 +1,69 @@
+// Undirected-ring scheduling: arc ids [n, 2n) are the reversed pairs, and
+// the uniform scheduler draws from all 2n arcs.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "core/statistics.hpp"
+
+namespace ppsim::core {
+namespace {
+
+/// Records which agent acted as initiator/responder.
+struct ProbeProto {
+  struct State {
+    int as_initiator = 0;
+    int as_responder = 0;
+  };
+  struct Params {
+    int n = 0;
+  };
+  static constexpr bool directed = false;
+  static void apply(State& u, State& v, const Params&) {
+    ++u.as_initiator;
+    ++v.as_responder;
+  }
+};
+
+TEST(Undirected, ForwardArcMapsLeftAsInitiator) {
+  Runner<ProbeProto> run({4}, std::vector<ProbeProto::State>(4), 1);
+  run.apply_arc(1);  // (u1 -> u2)
+  EXPECT_EQ(run.agent(1).as_initiator, 1);
+  EXPECT_EQ(run.agent(2).as_responder, 1);
+}
+
+TEST(Undirected, ReversedArcMapsRightAsInitiator) {
+  Runner<ProbeProto> run({4}, std::vector<ProbeProto::State>(4), 1);
+  run.apply_arc(4 + 1);  // reversed pair {u1, u2}: (u2 -> u1)
+  EXPECT_EQ(run.agent(2).as_initiator, 1);
+  EXPECT_EQ(run.agent(1).as_responder, 1);
+}
+
+TEST(Undirected, ReversedWrapArc) {
+  Runner<ProbeProto> run({4}, std::vector<ProbeProto::State>(4), 1);
+  run.apply_arc(4 + 3);  // reversed pair {u3, u0}: (u0 -> u3)
+  EXPECT_EQ(run.agent(0).as_initiator, 1);
+  EXPECT_EQ(run.agent(3).as_responder, 1);
+}
+
+TEST(Undirected, ArcCountIsTwoN) {
+  Runner<ProbeProto> run({6}, std::vector<ProbeProto::State>(6), 1);
+  EXPECT_EQ(run.arc_count(), 12);
+}
+
+TEST(Undirected, SchedulerUniformOverBothDirections) {
+  Runner<ProbeProto> run({8}, std::vector<ProbeProto::State>(8), 9);
+  std::vector<std::uint64_t> counts(16, 0);
+  run.run_observed(160000, [&](const Runner<ProbeProto>&, int arc) {
+    ++counts[static_cast<std::size_t>(arc)];
+  });
+  EXPECT_LT(chi_square_uniform(counts), 60.0);  // 15 dof, generous
+  // Each agent initiates and responds about equally often.
+  for (int i = 0; i < 8; ++i) {
+    const double init = run.agent(i).as_initiator;
+    const double resp = run.agent(i).as_responder;
+    EXPECT_NEAR(init / (init + resp), 0.5, 0.05) << "agent " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::core

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "orientation/coloring.hpp"
+
+namespace ppsim::orient {
+namespace {
+
+class ColoringSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringSweep, ProperTwoHopForAllSizes) {
+  const int n = GetParam();
+  const auto colors = two_hop_coloring(n);
+  ASSERT_EQ(colors.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(is_proper_two_hop(colors)) << "n=" << n;
+  EXPECT_LE(color_count(colors), 3);
+  for (auto c : colors) EXPECT_LT(c, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ColoringSweep,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                           13, 16, 17, 25, 32, 33, 64, 101,
+                                           256));
+
+TEST(Coloring, NeighborColorsAlwaysDiffer) {
+  // c1 != c2 at every agent: the two neighbors are two hops apart.
+  for (int n : {3, 5, 8, 13, 100}) {
+    const auto colors = two_hop_coloring(n);
+    for (int i = 0; i < n; ++i) {
+      const auto left = colors[static_cast<std::size_t>((i + n - 1) % n)];
+      const auto right = colors[static_cast<std::size_t>((i + 1) % n)];
+      EXPECT_NE(left, right) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Coloring, RejectsTinyRings) {
+  EXPECT_THROW((void)two_hop_coloring(2), std::invalid_argument);
+}
+
+TEST(Coloring, ImproperColoringDetected) {
+  std::vector<std::uint8_t> bad{0, 1, 0, 1};  // color(0) == color(2)
+  EXPECT_FALSE(is_proper_two_hop(bad));
+}
+
+}  // namespace
+}  // namespace ppsim::orient

@@ -1,0 +1,147 @@
+// P_OR (Algorithm 6): head duels, strength bookkeeping, sanitization,
+// orientation safety — plus exhaustive model checking at small n.
+#include <gtest/gtest.h>
+
+#include "core/model_checker.hpp"
+#include "core/runner.hpp"
+#include "orientation/coloring.hpp"
+#include "orientation/por.hpp"
+
+namespace ppsim::orient {
+namespace {
+
+TEST(Por, OrientedConfigIsStableAndRecognized) {
+  const OrParams p = OrParams::make(8);
+  core::Xoshiro256pp rng(1);
+  auto c = or_config(p, rng, /*random_dir=*/false);  // all clockwise
+  EXPECT_TRUE(is_oriented(c, p));
+  core::Runner<Por> run(p, c, 1);
+  run.run(200'000);
+  // dir outputs never change from an oriented configuration.
+  for (int i = 0; i < p.n; ++i)
+    EXPECT_EQ(run.agent(i).dir, c[static_cast<std::size_t>(i)].dir);
+}
+
+TEST(Por, SanitizationRepairsGarbageDir) {
+  const OrParams p = OrParams::make(8);
+  core::Xoshiro256pp rng(2);
+  auto c = or_config(p, rng, false);
+  // Give u_3 a dir that is neither neighbor's color: with a <=3-color
+  // palette pick a color not in {c1, c2}.
+  OrState& s = c[3];
+  for (std::uint8_t col = 0; col < 3; ++col)
+    if (col != s.c1 && col != s.c2) s.dir = col;
+  core::Runner<Por> run(p, c, 2);
+  run.apply_arc(3);  // interaction (u3, u4)
+  const OrState& after = run.agent(3);
+  EXPECT_TRUE(after.dir == after.c1 || after.dir == after.c2);
+}
+
+TEST(Por, HeadDuelStrongBeatsWeak) {
+  const OrParams p = OrParams::make(8);
+  core::Xoshiro256pp rng(3);
+  auto c = or_config(p, rng, false);
+  // Make u_3 and u_4 heads facing each other: u_3 points right (at u_4),
+  // u_4 points left (at u_3).
+  c[3].dir = c[4].color;
+  c[4].dir = c[3].color;
+  c[3].strong = 0;
+  c[4].strong = 1;
+  core::Runner<Por> run(p, c, 3);
+  run.apply_arc(3);  // initiator u_3 (weak) vs responder u_4 (strong)
+  // v (strong) wins: u_3 flips away from u_4 and inherits strength.
+  EXPECT_EQ(run.agent(3).dir, run.agent(3).c1 == run.agent(4).color
+                                  ? run.agent(3).c2
+                                  : run.agent(3).c1);
+  EXPECT_EQ(run.agent(3).strong, 1);
+  EXPECT_EQ(run.agent(4).strong, 0);
+  EXPECT_EQ(run.agent(4).dir, c[4].dir);  // winner's dir unchanged
+}
+
+TEST(Por, HeadDuelInitiatorWinsOtherwise) {
+  const OrParams p = OrParams::make(8);
+  core::Xoshiro256pp rng(4);
+  for (int us : {0, 1}) {
+    for (int vs : {0, 1}) {
+      if (us == 0 && vs == 1) continue;  // covered above
+      auto c = or_config(p, rng, false);
+      c[3].dir = c[4].color;
+      c[4].dir = c[3].color;
+      c[3].strong = static_cast<std::uint8_t>(us);
+      c[4].strong = static_cast<std::uint8_t>(vs);
+      core::Runner<Por> run(p, c, 4);
+      run.apply_arc(3);
+      // Initiator u_3 wins: v flips away and carries strength.
+      EXPECT_EQ(run.agent(3).dir, c[3].dir);
+      EXPECT_EQ(run.agent(3).strong, 0);
+      EXPECT_EQ(run.agent(4).strong, 1);
+      EXPECT_NE(run.agent(4).dir, run.agent(3).color);
+    }
+  }
+}
+
+TEST(Por, NonHeadStrongTurnsWeak) {
+  const OrParams p = OrParams::make(8);
+  core::Xoshiro256pp rng(5);
+  auto c = or_config(p, rng, false);  // all clockwise: u_i points at u_{i+1}
+  c[2].strong = 1;
+  core::Runner<Por> run(p, c, 5);
+  run.apply_arc(2);  // u_2 points at u_3, u_3 does not point back
+  EXPECT_EQ(run.agent(2).strong, 0);
+}
+
+class PorConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PorConvergence, RandomDirsOrient) {
+  const int n = GetParam();
+  const OrParams p = OrParams::make(n);
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    core::Xoshiro256pp rng(seed);
+    core::Runner<Por> run(p, or_config(p, rng, true), seed);
+    const std::uint64_t budget =
+        3000ULL * static_cast<std::uint64_t>(n) *
+            static_cast<std::uint64_t>(n) +
+        500'000;
+    const auto hit = run.run_until(
+        [](std::span<const OrState> c, const OrParams& pp) {
+          return is_oriented(c, pp);
+        },
+        budget);
+    ASSERT_TRUE(hit.has_value()) << "n=" << n << " seed=" << seed;
+    // Orientation is stable: dir outputs frozen from here on.
+    const std::vector<OrState> snap(run.agents().begin(),
+                                    run.agents().end());
+    run.run(100'000);
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(run.agent(i).dir, snap[static_cast<std::size_t>(i)].dir);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, PorConvergence,
+                         ::testing::Values(3, 4, 5, 6, 8, 12, 16, 24, 32));
+
+TEST(PorModelCheck, ExhaustiveSelfStabilization) {
+  // Every configuration of dir (full palette, garbage included) and strong:
+  // all bottom SCCs must be oriented with constant dir outputs.
+  for (int n : {3, 4, 5}) {
+    const OrParams p = OrParams::make(n);
+    core::ModelChecker<PorModel> mc(p);
+    const auto res = mc.check(
+        [](std::span<const OrState> c, const OrParams& pp) {
+          struct Out {
+            bool oriented;
+            std::uint64_t dirs;
+            bool operator==(const Out&) const = default;
+          };
+          std::uint64_t dirs = 0;
+          for (const OrState& s : c) dirs = dirs * 8 + s.dir;
+          return Out{is_oriented(c, pp), dirs};
+        },
+        [](const auto& out) { return out.oriented; });
+    EXPECT_TRUE(res.ok) << "n=" << n << ": " << res.reason;
+    EXPECT_GT(res.num_bottom_sccs, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::orient

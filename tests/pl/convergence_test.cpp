@@ -1,0 +1,108 @@
+// Convergence (Theorem 3.1): from arbitrary/adversarial configurations the
+// population reaches S_PL. Budgets are generous multiples of n^2 log n; with
+// the paper-faithful c1 = 32 the constants are large, so the sweep uses a
+// smaller c1 (the asymptotics are unaffected; bench/ablation_kappa measures
+// the c1 dependence).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/runner.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+#include "pl/safe_config.hpp"
+
+namespace ppsim::pl {
+namespace {
+
+constexpr int kC1 = 4;
+
+std::uint64_t budget(const PlParams& p) {
+  const auto n = static_cast<std::uint64_t>(p.n);
+  // ~ c * kappa_max * n^2 steps; detection needs Theta(n * kappa_max * 2^psi)
+  // interactions, and 2^psi <= 2n.
+  return 600ULL * n * n * static_cast<std::uint64_t>(p.kappa_max) + 2'000'000;
+}
+
+class ConvergenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ConvergenceSweep, RandomConfigurationReachesSafeSet) {
+  const auto [n, seed] = GetParam();
+  const PlParams p = PlParams::make(n, kC1);
+  core::Xoshiro256pp rng(seed);
+  core::Runner<PlProtocol> run(p, random_config(p, rng), seed * 7 + 1);
+  const auto hit = run.run_until(SafePredicate{}, budget(p));
+  ASSERT_TRUE(hit.has_value()) << "n=" << n << " seed=" << seed;
+  // And it stays there (spot check).
+  run.run(10'000);
+  EXPECT_TRUE(is_safe(run.agents(), p));
+  EXPECT_EQ(run.leader_count(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rings, ConvergenceSweep,
+    ::testing::Combine(::testing::Values(4, 6, 8, 12, 16, 24, 32, 48),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+class AdversarialSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdversarialSweep, HandcraftedWorstCasesConverge) {
+  const int n = GetParam();
+  const PlParams p = PlParams::make(n, kC1);
+  core::Xoshiro256pp rng(1234);
+  const std::vector<std::vector<PlState>> cases = {
+      leaderless_consistent(p, 0),            // detection from scratch
+      leaderless_consistent(p, p.kappa_max),  // all already in Detect
+      all_leaders(p),                         // maximal elimination load
+      all_zero(p),                            // broken dist chain everywhere
+      stale_signals_everywhere(p),            // signals must drain first
+      token_garbage(p, rng),                  // invalid tokens everywhere
+  };
+  int idx = 0;
+  for (const auto& config : cases) {
+    core::Runner<PlProtocol> run(p, config, 17 + idx);
+    const auto hit = run.run_until(SafePredicate{}, budget(p));
+    ASSERT_TRUE(hit.has_value()) << "n=" << n << " case=" << idx;
+    ++idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, AdversarialSweep,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(Convergence, FreshDeploymentConstructsPerfection) {
+  // Single leader, zeroed variables: the construction phase alone must
+  // produce a perfect configuration (Figure-1 regime).
+  const PlParams p = PlParams::make(32, kC1);
+  core::Runner<PlProtocol> run(p, make_fresh_config(p), 3);
+  const auto hit = run.run_until(SafePredicate{}, budget(p));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(is_perfect(run.agents(), p));
+  EXPECT_EQ(run.agent(0).leader, 1);  // the deployed leader survived
+}
+
+TEST(Convergence, PaperFaithfulC1AlsoConverges) {
+  const PlParams p = PlParams::make(12);  // c1 = 32
+  core::Xoshiro256pp rng(5);
+  core::Runner<PlProtocol> run(p, random_config(p, rng), 5);
+  const auto hit = run.run_until(SafePredicate{}, budget(p) * 10);
+  ASSERT_TRUE(hit.has_value());
+}
+
+TEST(Convergence, NeverZeroLeadersAfterCpb) {
+  // Lemma 4.1/4.2: once in C_PB, the leader count never returns to zero.
+  const PlParams p = PlParams::make(16, kC1);
+  core::Xoshiro256pp rng(21);
+  core::Runner<PlProtocol> run(p, random_config(p, rng), 21);
+  const auto hit = run.run_until(
+      [](Config c, const PlParams&) { return in_cpb(c); }, budget(p));
+  ASSERT_TRUE(hit.has_value());
+  for (int i = 0; i < 200; ++i) {
+    run.run(1'000);
+    ASSERT_GE(run.leader_count(), 1) << "after " << run.steps();
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::pl

@@ -1,0 +1,77 @@
+// Self-stabilization exercised the way an operator cares about: corrupt a
+// converged system and watch it heal.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+#include "pl/safe_config.hpp"
+
+namespace ppsim::pl {
+namespace {
+
+constexpr int kC1 = 4;
+
+std::uint64_t budget(const PlParams& p) {
+  const auto n = static_cast<std::uint64_t>(p.n);
+  return 600ULL * n * n * static_cast<std::uint64_t>(p.kappa_max) + 2'000'000;
+}
+
+class FaultSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSweep, RecoversFromAgentCorruption) {
+  const int faults = GetParam();
+  const PlParams p = PlParams::make(24, kC1);
+  core::Xoshiro256pp rng(faults * 97 + 1);
+  auto config = make_safe_config(p);
+  corrupt(config, p, faults, rng);
+  core::Runner<PlProtocol> run(p, config, faults);
+  const auto hit = run.run_until(SafePredicate{}, budget(p));
+  ASSERT_TRUE(hit.has_value()) << "faults=" << faults;
+  EXPECT_EQ(run.leader_count(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultCounts, FaultSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 24));
+
+TEST(FaultRecovery, LeaderDeletionIsDetectedAndRepaired) {
+  const PlParams p = PlParams::make(16, kC1);
+  auto config = make_safe_config(p);
+  config[0].leader = 0;  // kill the unique leader, keep everything else
+  core::Runner<PlProtocol> run(p, config, 1);
+  ASSERT_EQ(run.leader_count(), 0);
+  const auto hit = run.run_until(SafePredicate{}, budget(p));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(run.leader_count(), 1);
+}
+
+TEST(FaultRecovery, DuplicateLeaderIsEliminated) {
+  const PlParams p = PlParams::make(16, kC1);
+  auto config = make_safe_config(p);
+  config[8].leader = 1;  // rogue second leader
+  config[8].shield = 1;
+  core::Runner<PlProtocol> run(p, config, 2);
+  ASSERT_EQ(run.leader_count(), 2);
+  const auto hit = run.run_until(SafePredicate{}, budget(p));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(run.leader_count(), 1);
+}
+
+TEST(FaultRecovery, RepeatedFaultBursts) {
+  const PlParams p = PlParams::make(12, kC1);
+  core::Xoshiro256pp rng(31);
+  auto config = make_safe_config(p);
+  core::Runner<PlProtocol> run(p, config, 31);
+  for (int burst = 0; burst < 5; ++burst) {
+    auto snapshot =
+        std::vector<PlState>(run.agents().begin(), run.agents().end());
+    corrupt(snapshot, p, 3, rng);
+    core::Runner<PlProtocol> next(p, snapshot, 100 + burst);
+    const auto hit = next.run_until(SafePredicate{}, budget(p));
+    ASSERT_TRUE(hit.has_value()) << "burst " << burst;
+    run = next;
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::pl

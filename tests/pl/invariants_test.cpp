@@ -1,0 +1,248 @@
+// Perfection (conditions (1)/(2)), segment decomposition, peaceful bullets,
+// C_DL and the S_PL membership checker.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+#include "pl/safe_config.hpp"
+
+namespace ppsim::pl {
+namespace {
+
+TEST(Condition1, HoldsOnSafeConfig) {
+  for (int n : {8, 12, 16, 33, 64}) {
+    const PlParams p = PlParams::make(n);
+    const auto c = make_safe_config(p);
+    EXPECT_TRUE(satisfies_condition1(c, p)) << "n=" << n;
+  }
+}
+
+TEST(Condition1, DetectsBrokenChain) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[5].dist = static_cast<std::uint16_t>((c[5].dist + 1) % p.two_psi());
+  EXPECT_FALSE(satisfies_condition1(c, p));
+}
+
+TEST(Segments, DecompositionOnSafeConfig) {
+  const PlParams p = PlParams::make(16);  // psi 4, zeta 4
+  const auto c = make_safe_config(p);
+  const auto segs = decompose_segments(c, p);
+  ASSERT_EQ(segs.size(), 4u);
+  for (const auto& s : segs) EXPECT_EQ(s.length, 4);
+  // make_safe_config assigns consecutive ids 0,1,2,3 starting at the leader.
+  EXPECT_EQ(segs[0].start, 0);
+  EXPECT_EQ(segs[0].id, 0u);
+  EXPECT_EQ(segs[1].id, 1u);
+  EXPECT_EQ(segs[2].id, 2u);
+  EXPECT_EQ(segs[3].id, 3u);
+}
+
+TEST(Segments, IdIsLsbFirst) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  // Set S_1 (agents 4..7) bits to 1,0,1,1 -> id = 1 + 4 + 8 = 13.
+  c[4].b = 1;
+  c[5].b = 0;
+  c[6].b = 1;
+  c[7].b = 1;
+  const auto segs = decompose_segments(c, p);
+  EXPECT_EQ(segs[1].id, 13u);
+}
+
+TEST(Perfection, SafeConfigIsPerfect) {
+  for (int n : {8, 16, 24, 32, 48}) {
+    const PlParams p = PlParams::make(n);
+    EXPECT_TRUE(is_perfect(std::vector<PlState>(make_safe_config(p)), p))
+        << "n=" << n;
+  }
+}
+
+TEST(Perfection, BrokenIdChainIsImperfect) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  // Corrupt S_2's id (segments S_1->S_2 are both non-exempt: S_2 neither
+  // starts with a leader nor precedes one).
+  c[8].b ^= 1;
+  EXPECT_FALSE(is_perfect(c, p));
+}
+
+TEST(Perfection, FirstAndLastSegmentsAreExempt) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  // The last segment S_3 ends right before the leader: its own id check is
+  // exempt, and the only segment comparing against it (S_0) starts with the
+  // leader, so it is exempt too. Corrupting S_3's bits keeps perfection.
+  c[13].b ^= 1;
+  c[14].b ^= 1;
+  EXPECT_TRUE(is_perfect(c, p));
+}
+
+TEST(PeacefulBullets, ShieldedLeaderNoSignals) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[5].bullet = 2;  // live bullet; leader at 0 is shielded; no signals
+  EXPECT_TRUE(live_bullet_peaceful(c, 5));
+  EXPECT_TRUE(in_cpb(c));
+}
+
+TEST(PeacefulBullets, UnshieldedLeaderBreaksPeace) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[5].bullet = 2;
+  c[0].shield = 0;
+  EXPECT_FALSE(live_bullet_peaceful(c, 5));
+  EXPECT_FALSE(in_cpb(c));
+}
+
+TEST(PeacefulBullets, AbsenceSignalOnPathBreaksPeace) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[5].bullet = 2;
+  c[3].signal_b = 1;  // between leader (0) and bullet (5)
+  EXPECT_FALSE(live_bullet_peaceful(c, 5));
+}
+
+TEST(PeacefulBullets, SignalBehindBulletIsHarmless) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[5].bullet = 2;
+  c[9].signal_b = 1;  // to the right of the bullet: not on the walk
+  EXPECT_TRUE(live_bullet_peaceful(c, 5));
+}
+
+TEST(PeacefulBullets, NoLeaderMeansNotPeaceful) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[0].leader = 0;
+  c[5].bullet = 2;
+  EXPECT_FALSE(live_bullet_peaceful(c, 5));
+  EXPECT_FALSE(in_cpb(c));
+}
+
+TEST(Cdl, SafeConfigHasLayout) {
+  for (int n : {8, 16, 17, 30, 64}) {
+    const PlParams p = PlParams::make(n);
+    for (int k : {0, 3, n - 1}) {
+      const auto c = make_safe_config(p, k);
+      EXPECT_TRUE(in_cdl_layout(c, p, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Cdl, WrongLastFlagRejected) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[13].last = 0;  // inside the last segment
+  EXPECT_FALSE(in_cdl_layout(c, p, 0));
+}
+
+TEST(Safety, SafeConfigPassesEverywhere) {
+  for (int n : {4, 8, 16, 17, 23, 32, 64, 100}) {
+    const PlParams p = PlParams::make(n);
+    for (int k : {0, 1, n / 2}) {
+      for (long long id : {0LL, 5LL}) {
+        const auto c = make_safe_config(p, k, id);
+        const auto v = check_safe(c, p);
+        EXPECT_TRUE(v.safe)
+            << "n=" << n << " k=" << k << " id=" << id << ": " << v.reason;
+      }
+    }
+  }
+}
+
+TEST(Safety, TwoLeadersRejected) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[8].leader = 1;
+  EXPECT_FALSE(is_safe(c, p));
+}
+
+TEST(Safety, NoLeaderRejected) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[0].leader = 0;
+  EXPECT_FALSE(is_safe(c, p));
+}
+
+TEST(Safety, NonConsecutiveIdsRejected) {
+  const PlParams p = PlParams::make(24);  // psi 5, zeta 5: pairs 0..2 checked
+  auto c = make_safe_config(p);
+  c[static_cast<std::size_t>(p.psi)].b ^= 1;  // S_1's id breaks
+  EXPECT_FALSE(is_safe(c, p));
+}
+
+TEST(Safety, IncorrectTokenRejected) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  // A geometrically valid round-0 right-mover for (S_0, S_1) sitting at u_1:
+  // dist 1, pos 3 -> tau 4 (round 0). Correct values: S_0 id = 0 -> j = 0,
+  // value = b_0 xor [0<=0] = 1, carry = [0<0] = 0.
+  c[1].token_b = Token{3, 1, 0};
+  EXPECT_TRUE(is_safe(c, p)) << check_safe(c, p).reason;
+  c[1].token_b = Token{3, 0, 0};  // wrong value bit
+  EXPECT_FALSE(is_safe(c, p));
+  c[1].token_b = Token{3, 1, 1};  // wrong carry
+  EXPECT_FALSE(is_safe(c, p));
+}
+
+TEST(Safety, TokenInLastSegmentRejected) {
+  const PlParams p = PlParams::make(16);
+  auto c = make_safe_config(p);
+  c[13].token_b = Token{1, 0, 0};
+  EXPECT_FALSE(is_safe(c, p));
+}
+
+TEST(Lemma32Style, LeaderlessConsistentConfigIsNotPerfect) {
+  // 2psi | n so the dist chain is globally consistent without a leader; the
+  // segment-id chain cannot also close (Lemma 3.2).
+  for (int n : {4, 16, 48, 160}) {
+    const PlParams p = PlParams::make(n);
+    const auto c = leaderless_consistent(p, 0);
+    EXPECT_EQ(count_leaders(c), 0);
+    EXPECT_FALSE(is_perfect(c, p)) << "n=" << n;
+  }
+}
+
+TEST(Adversary, RandomConfigsRespectDomains) {
+  const PlParams p = PlParams::make(23);
+  core::Xoshiro256pp rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const auto c = random_config(p, rng);
+    for (const PlState& s : c) {
+      EXPECT_LT(s.dist, p.two_psi());
+      EXPECT_LE(s.clock, p.kappa_max);
+      EXPECT_LE(s.signal_r, p.kappa_max);
+      EXPECT_LE(static_cast<int>(s.hits), p.psi);
+      EXPECT_LE(s.bullet, 2);
+      for (const Token& t2 : {s.token_b, s.token_w}) {
+        if (!t2.exists()) continue;
+        EXPECT_GE(t2.pos, -(p.psi - 1));
+        EXPECT_LE(t2.pos, p.psi);
+        EXPECT_NE(t2.pos, 0);
+      }
+    }
+  }
+}
+
+TEST(Adversary, CorruptTouchesExactlyFAgents) {
+  const PlParams p = PlParams::make(32);
+  core::Xoshiro256pp rng(9);
+  const auto base = make_safe_config(p);
+  for (int f : {1, 3, 8}) {
+    auto c = base;
+    corrupt(c, p, f, rng);
+    int diff = 0;
+    for (int i = 0; i < p.n; ++i)
+      diff += c[static_cast<std::size_t>(i)] ==
+                      base[static_cast<std::size_t>(i)]
+                  ? 0
+                  : 1;
+    EXPECT_LE(diff, f);  // a corruption may coincide with the old state
+    EXPECT_GE(diff, f - 1);
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::pl

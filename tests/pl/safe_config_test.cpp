@@ -1,0 +1,69 @@
+// make_safe_config / make_fresh_config construction properties.
+#include <gtest/gtest.h>
+
+#include "pl/invariants.hpp"
+#include "pl/safe_config.hpp"
+
+namespace ppsim::pl {
+namespace {
+
+class SafeConfigSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SafeConfigSweep, IsSafeForAllRingSizes) {
+  const int n = GetParam();
+  const PlParams p = PlParams::make(n);
+  const auto c = make_safe_config(p);
+  const auto v = check_safe(c, p);
+  EXPECT_TRUE(v.safe) << "n=" << n << ": " << v.reason;
+  EXPECT_EQ(count_leaders(c), 1);
+  EXPECT_TRUE(is_perfect(c, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, SafeConfigSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 12, 15, 16,
+                                           17, 20, 25, 31, 32, 33, 47, 64, 65,
+                                           100, 128, 200, 255, 256, 257));
+
+class SafeConfigSlackSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SafeConfigSlackSweep, IsSafeWithPsiSlack) {
+  const auto [n, slack] = GetParam();
+  const PlParams p = PlParams::make(n, 32, slack);
+  const auto v = check_safe(std::vector<PlState>(make_safe_config(p)), p);
+  EXPECT_TRUE(v.safe) << "n=" << n << " slack=" << slack << ": " << v.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Slacks, SafeConfigSlackSweep,
+    ::testing::Combine(::testing::Values(5, 8, 16, 33, 64),
+                       ::testing::Values(0, 1, 2, 4)));
+
+TEST(SafeConfig, LeaderPositionRespected) {
+  const PlParams p = PlParams::make(20);
+  for (int k : {0, 7, 19}) {
+    const auto c = make_safe_config(p, k);
+    ASSERT_EQ(count_leaders(c), 1);
+    EXPECT_EQ(leader_positions(c).front(), k);
+    EXPECT_TRUE(is_safe(c, p));
+  }
+}
+
+TEST(SafeConfig, FirstIdModularlyReduced) {
+  const PlParams p = PlParams::make(16);
+  const auto a = make_safe_config(p, 0, 3);
+  const auto b = make_safe_config(p, 0, 3 + p.id_modulus());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FreshConfig, SingleLeaderEverythingElseZero) {
+  const PlParams p = PlParams::make(32);
+  const auto c = make_fresh_config(p, 4);
+  EXPECT_EQ(count_leaders(c), 1);
+  EXPECT_EQ(c[4].leader, 1);
+  EXPECT_EQ(c[4].shield, 1);
+  EXPECT_FALSE(is_safe(c, p));  // construction has not run yet
+}
+
+}  // namespace
+}  // namespace ppsim::pl

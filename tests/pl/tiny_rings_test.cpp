@@ -1,0 +1,85 @@
+// Degenerate ring sizes (n = 2, 3) and determinism guarantees.
+//
+// n = 2 is the smallest population the model admits (Section 2 assumes
+// n >= 2): the directed ring has arcs (u_0,u_1) and (u_1,u_0), psi is
+// floored at 2, and zeta = 1 makes *every* agent part of the last segment,
+// so the token machinery is entirely inert and detection rests on the dist
+// chain alone (leaderless consistency would need 2psi | n — impossible).
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+#include "pl/safe_config.hpp"
+
+namespace ppsim::pl {
+namespace {
+
+class TinyRingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TinyRingSweep, RandomConfigurationsConverge) {
+  const int n = GetParam();
+  const PlParams p = PlParams::make(n, 4);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    core::Xoshiro256pp rng(seed * 31);
+    core::Runner<PlProtocol> run(p, random_config(p, rng), seed);
+    const auto hit = run.run_until(SafePredicate{}, 200'000'000ULL);
+    ASSERT_TRUE(hit.has_value()) << "n=" << n << " seed=" << seed;
+    run.run(50'000);
+    EXPECT_EQ(run.leader_count(), 1);
+    EXPECT_TRUE(is_safe(run.agents(), p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TinyRingSweep, ::testing::Values(2, 3, 5));
+
+TEST(TinyRings, N2HasTwoDirectedArcs) {
+  const PlParams p = PlParams::make(2);
+  core::Runner<PlProtocol> run(p, make_safe_config(p), 1);
+  EXPECT_EQ(run.arc_count(), 2);
+  // Arc 1 is (u_1, u_0): u_1 initiates toward its right neighbor u_0.
+  run.apply_arc(1);
+  EXPECT_EQ(run.leader_count(), 1);
+}
+
+TEST(TinyRings, N2TokensNeverExist) {
+  // zeta = 1: every agent has last = 1 in C_DL, so line 12 never creates.
+  const PlParams p = PlParams::make(2, 4);
+  core::Runner<PlProtocol> run(p, make_safe_config(p), 2);
+  run.run(200'000);
+  for (const PlState& s : run.agents()) {
+    EXPECT_FALSE(s.token_b.exists());
+    EXPECT_FALSE(s.token_w.exists());
+  }
+  EXPECT_TRUE(is_safe(run.agents(), p));
+}
+
+TEST(Determinism, SameSeedSameTrajectory) {
+  const PlParams p = PlParams::make(24, 4);
+  core::Xoshiro256pp rng(77);
+  const auto init = random_config(p, rng);
+  core::Runner<PlProtocol> a(p, init, 123);
+  core::Runner<PlProtocol> b(p, init, 123);
+  a.run(250'000);
+  b.run(250'000);
+  for (int i = 0; i < p.n; ++i) ASSERT_EQ(a.agent(i), b.agent(i));
+  EXPECT_EQ(a.leader_count(), b.leader_count());
+  EXPECT_EQ(a.last_leader_change(), b.last_leader_change());
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const PlParams p = PlParams::make(24, 4);
+  core::Xoshiro256pp rng(78);
+  const auto init = random_config(p, rng);
+  core::Runner<PlProtocol> a(p, init, 1);
+  core::Runner<PlProtocol> b(p, init, 2);
+  a.run(50'000);
+  b.run(50'000);
+  int differing = 0;
+  for (int i = 0; i < p.n; ++i)
+    differing += a.agent(i) == b.agent(i) ? 0 : 1;
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace ppsim::pl

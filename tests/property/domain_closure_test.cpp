@@ -1,0 +1,147 @@
+// Domain closure: the state space Call(P) of Section 2 is the product of the
+// declared variable domains, and the transition function must map it into
+// itself — otherwise "arbitrary initial configuration" stops being
+// meaningful. Fuzz every protocol with random legal pairs and check every
+// field stays in range after the interaction.
+#include <gtest/gtest.h>
+
+#include "baselines/fischer_jiang.hpp"
+#include "baselines/modk.hpp"
+#include "baselines/yokota28.hpp"
+#include "core/rng.hpp"
+#include "orientation/por.hpp"
+#include "pl/adversary.hpp"
+#include "pl/protocol.hpp"
+
+namespace ppsim {
+namespace {
+
+void expect_pl_in_domain(const pl::PlState& s, const pl::PlParams& p,
+                         const char* who) {
+  EXPECT_LE(s.leader, 1) << who;
+  EXPECT_LE(s.b, 1) << who;
+  EXPECT_LT(static_cast<int>(s.dist), p.two_psi()) << who;
+  EXPECT_LE(s.last, 1) << who;
+  EXPECT_LE(static_cast<int>(s.clock), p.kappa_max) << who;
+  EXPECT_LE(static_cast<int>(s.hits), p.psi) << who;
+  EXPECT_LE(static_cast<int>(s.signal_r), p.kappa_max) << who;
+  EXPECT_LE(s.bullet, 2) << who;
+  EXPECT_LE(s.shield, 1) << who;
+  EXPECT_LE(s.signal_b, 1) << who;
+  for (const pl::Token& t : {s.token_b, s.token_w}) {
+    if (!t.exists()) continue;
+    EXPECT_GE(t.pos, -(p.psi - 1)) << who;
+    EXPECT_LE(t.pos, p.psi) << who;
+    EXPECT_LE(t.value, 1) << who;
+    EXPECT_LE(t.carry, 1) << who;
+  }
+}
+
+class PlDomainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlDomainSweep, TransitionPreservesDomains) {
+  const int n = GetParam();
+  const pl::PlParams p = pl::PlParams::make(n, 4);
+  core::Xoshiro256pp rng(static_cast<std::uint64_t>(n));
+  for (int t = 0; t < 50000; ++t) {
+    pl::PlState l = pl::random_state(p, rng);
+    pl::PlState r = pl::random_state(p, rng);
+    pl::PlProtocol::apply(l, r, p);
+    expect_pl_in_domain(l, p, "initiator");
+    expect_pl_in_domain(r, p, "responder");
+    if (HasFailure()) FAIL() << "at trial " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, PlDomainSweep,
+                         ::testing::Values(4, 16, 100, 1000));
+
+TEST(DomainClosure, PlWithPaperFaithfulKappa) {
+  const pl::PlParams p = pl::PlParams::make(64, 32, 2);
+  core::Xoshiro256pp rng(5);
+  for (int t = 0; t < 20000; ++t) {
+    pl::PlState l = pl::random_state(p, rng);
+    pl::PlState r = pl::random_state(p, rng);
+    pl::PlProtocol::apply(l, r, p);
+    expect_pl_in_domain(l, p, "initiator");
+    expect_pl_in_domain(r, p, "responder");
+    if (HasFailure()) FAIL() << "at trial " << t;
+  }
+}
+
+TEST(DomainClosure, Yokota28) {
+  const auto p = baselines::Y28Params::make(100);
+  core::Xoshiro256pp rng(7);
+  for (int t = 0; t < 50000; ++t) {
+    auto c = baselines::y28_random_config(p, rng);
+    baselines::Y28State l = c[0], r = c[1];
+    baselines::Yokota28::apply(l, r, p);
+    for (const auto& s : {l, r}) {
+      EXPECT_LE(s.leader, 1);
+      EXPECT_LT(static_cast<int>(s.dist), p.cap);
+      EXPECT_LE(s.bullet, 2);
+      EXPECT_LE(s.shield, 1);
+      EXPECT_LE(s.signal_b, 1);
+    }
+    if (HasFailure()) FAIL() << "at trial " << t;
+  }
+}
+
+TEST(DomainClosure, FischerJiangUnderAllOracleStates) {
+  const auto p = baselines::FjParams::make(50);
+  core::Xoshiro256pp rng(9);
+  for (int t = 0; t < 50000; ++t) {
+    auto c = baselines::fj_random_config(p, rng);
+    core::InteractionContext ctx;
+    ctx.no_leader = rng.coin();
+    ctx.no_token = rng.coin();
+    baselines::FjState l = c[0], r = c[1];
+    baselines::FischerJiang::apply(l, r, p, ctx);
+    for (const auto& s : {l, r}) {
+      EXPECT_LE(s.leader, 1);
+      EXPECT_LE(s.bullet, 2);
+      EXPECT_LE(s.shield, 1);
+      EXPECT_LE(s.armed, 1);
+    }
+    if (HasFailure()) FAIL() << "at trial " << t;
+  }
+}
+
+TEST(DomainClosure, ModkAcrossModuli) {
+  for (int k : {2, 3, 5}) {
+    const auto p = baselines::ModkParams::make(k == 5 ? 11 : 16 * k + 1, k);
+    core::Xoshiro256pp rng(static_cast<std::uint64_t>(k));
+    for (int t = 0; t < 30000; ++t) {
+      auto c = baselines::modk_random_config(p, rng);
+      baselines::ModkState l = c[0], r = c[1];
+      baselines::Modk::apply(l, r, p);
+      for (const auto& s : {l, r}) {
+        EXPECT_LE(s.leader, 1);
+        EXPECT_LT(static_cast<int>(s.lab), k);
+        EXPECT_LE(s.bullet, 2);
+      }
+      if (HasFailure()) FAIL() << "k=" << k << " trial " << t;
+    }
+  }
+}
+
+TEST(DomainClosure, PorDirAlwaysLandsOnNeighborColorsEventually) {
+  // After one interaction, each participant's dir points at one of its
+  // neighbors (sanitization + flips only choose from {c1, c2} or the
+  // partner's color, which is a neighbor color by construction).
+  const auto p = orient::OrParams::make(12);
+  core::Xoshiro256pp rng(11);
+  for (int t = 0; t < 30000; ++t) {
+    auto c = orient::or_config(p, rng, true);
+    orient::OrState u = c[3], v = c[4];
+    orient::Por::apply(u, v, p);
+    EXPECT_TRUE(u.dir == u.c1 || u.dir == u.c2);
+    EXPECT_TRUE(v.dir == v.c1 || v.dir == v.c2);
+    EXPECT_LE(u.strong, 1);
+    EXPECT_LE(v.strong, 1);
+    if (HasFailure()) FAIL() << "trial " << t;
+  }
+}
+
+}  // namespace
+}  // namespace ppsim

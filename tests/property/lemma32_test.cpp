@@ -1,0 +1,84 @@
+// Lemma 3.2: a configuration without a leader is never perfect — exhaustive
+// over (dist, b) assignments at small n, randomized beyond.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "pl/adversary.hpp"
+#include "pl/invariants.hpp"
+
+namespace ppsim::pl {
+namespace {
+
+TEST(Lemma32, ExhaustiveTinyRings) {
+  // n = 4, psi = 2 (2psi = 4): enumerate all 4^4 dist chains x 2^4 bit
+  // patterns; no leaderless configuration may be perfect.
+  const PlParams p = PlParams::make(4);
+  ASSERT_EQ(p.psi, 2);
+  std::vector<PlState> c(4);
+  int perfect_found = 0;
+  for (int dmask = 0; dmask < 256; ++dmask) {
+    for (int bmask = 0; bmask < 16; ++bmask) {
+      for (int i = 0; i < 4; ++i) {
+        c[static_cast<std::size_t>(i)].dist =
+            static_cast<std::uint16_t>((dmask >> (2 * i)) & 3);
+        c[static_cast<std::size_t>(i)].b =
+            static_cast<std::uint8_t>((bmask >> i) & 1);
+        c[static_cast<std::size_t>(i)].leader = 0;
+      }
+      if (is_perfect(c, p)) ++perfect_found;
+    }
+  }
+  EXPECT_EQ(perfect_found, 0);
+}
+
+TEST(Lemma32, WithLeaderPerfectConfigsExist) {
+  // Sanity complement: the same enumeration with a leader at u_0 does find
+  // perfect configurations.
+  const PlParams p = PlParams::make(4);
+  std::vector<PlState> c(4);
+  int perfect_found = 0;
+  for (int dmask = 0; dmask < 256; ++dmask) {
+    for (int bmask = 0; bmask < 16; ++bmask) {
+      for (int i = 0; i < 4; ++i) {
+        c[static_cast<std::size_t>(i)].dist =
+            static_cast<std::uint16_t>((dmask >> (2 * i)) & 3);
+        c[static_cast<std::size_t>(i)].b =
+            static_cast<std::uint8_t>((bmask >> i) & 1);
+        c[static_cast<std::size_t>(i)].leader = i == 0 ? 1 : 0;
+      }
+      if (is_perfect(c, p)) ++perfect_found;
+    }
+  }
+  EXPECT_GT(perfect_found, 0);
+}
+
+class Lemma32Random : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma32Random, RandomLeaderlessConfigsNeverPerfect) {
+  const int n = GetParam();
+  const PlParams p = PlParams::make(n);
+  core::Xoshiro256pp rng(static_cast<std::uint64_t>(n) * 131);
+  for (int t = 0; t < 2000; ++t) {
+    auto c = random_config(p, rng);
+    for (PlState& s : c) s.leader = 0;
+    EXPECT_FALSE(is_perfect(c, p)) << "n=" << n << " trial=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, Lemma32Random,
+                         ::testing::Values(4, 8, 12, 16, 32, 64));
+
+TEST(Lemma32, AdversarialNearMissIsCaught) {
+  // The strongest leaderless configuration: consistent dists, consecutive
+  // ids wherever possible — the checker must still find the inevitable
+  // violation. Ring sizes with 2psi | n, so the dist chain truly closes.
+  for (int n : {4, 16, 48, 160}) {
+    const PlParams p = PlParams::make(n);
+    const auto c = leaderless_consistent(p, 0);
+    EXPECT_TRUE(satisfies_condition1(c, p)) << "n=" << n;  // dists fine
+    EXPECT_FALSE(satisfies_condition2(c, p)) << "n=" << n;  // ids cannot be
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::pl

@@ -1,0 +1,90 @@
+// The lottery game (Definition 3.8) and its Chernoff envelopes
+// (Lemmas 3.9/3.10) — the engine behind signal TTLs and clock advancement.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace ppsim {
+namespace {
+
+/// W_LG(k, l): number of winning rounds (k consecutive heads) in l flips.
+int play_lottery(int k, std::uint64_t flips, core::Xoshiro256pp& rng) {
+  int wins = 0;
+  int run = 0;
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    if (rng.coin()) {
+      if (++run == k) {
+        ++wins;
+        run = 0;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return wins;
+}
+
+TEST(LotteryGame, WinsArePossibleButRare) {
+  core::Xoshiro256pp rng(1);
+  const int k = 6;
+  // Expected wins over l flips is ~ l / (2^k * E[round length]) — just check
+  // the order of magnitude: positive, far below l.
+  const std::uint64_t l = 64ULL << k;
+  const int w = play_lottery(k, l, rng);
+  EXPECT_GT(w, 0);
+  EXPECT_LT(w, static_cast<int>(l / (1ULL << k)));
+}
+
+TEST(LotteryGame, Lemma39UpperEnvelope) {
+  // Pr(W(k, 4ck 2^k) <= 8ck) >= 1 - 2^{-ck}: with c = 1 and k = 5 the
+  // failure probability is <= 1/32; over 300 trials expect <= ~9.4 failures
+  // in expectation — allow a generous 40.
+  core::Xoshiro256pp rng(7);
+  const int k = 5, c = 1;
+  const std::uint64_t l = 4ULL * c * k << k;
+  int violations = 0;
+  for (int t = 0; t < 300; ++t)
+    if (play_lottery(k, l, rng) > 8 * c * k) ++violations;
+  EXPECT_LE(violations, 40);
+}
+
+TEST(LotteryGame, Lemma310LowerEnvelope) {
+  // Pr(W(k, 64ck 2^k) >= 16ck) >= 1 - 2^{-ck}.
+  core::Xoshiro256pp rng(11);
+  const int k = 5, c = 1;
+  const std::uint64_t l = 64ULL * c * k << k;
+  int violations = 0;
+  for (int t = 0; t < 300; ++t)
+    if (play_lottery(k, l, rng) < 16 * c * k) ++violations;
+  EXPECT_LE(violations, 40);
+}
+
+TEST(LotteryGame, WinRateScalesLikeTwoToMinusK) {
+  // Each flip wins a round with rate ~ 2^{-(k+1)} (a round consumes ~2 flips
+  // on average, winning with prob 2^{-k}). Doubling k should cut the win
+  // count by roughly 2^{k}; just assert strict monotone decrease with
+  // headroom.
+  core::Xoshiro256pp rng(13);
+  const std::uint64_t l = 1 << 20;
+  const int w4 = play_lottery(4, l, rng);
+  const int w6 = play_lottery(6, l, rng);
+  const int w8 = play_lottery(8, l, rng);
+  EXPECT_GT(w4, 2 * w6);
+  EXPECT_GT(w6, 2 * w8);
+}
+
+TEST(LotteryGame, MatchesClosedFormExpectation) {
+  // The per-flip win rate is p_k = (1/2)^k / E[flips per round], with
+  // E[flips per round] = 2(1 - 2^{-k}). For k = 4: p = (1/16)/(2*(15/16))
+  // = 1/30.
+  core::Xoshiro256pp rng(17);
+  const std::uint64_t l = 3'000'000;
+  const int w = play_lottery(4, l, rng);
+  const double rate = static_cast<double>(w) / static_cast<double>(l);
+  EXPECT_NEAR(rate, 1.0 / 30.0, 0.002);
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,75 @@
+// Lemma 2.3: an interaction sequence of length l occurs (in order, not
+// necessarily consecutively) within n*l steps in expectation, and within
+// O(c n (l + log n)) steps w.h.p.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/ring.hpp"
+#include "core/statistics.hpp"
+
+namespace ppsim {
+namespace {
+
+/// Steps until the arc sequence `s` completes under uniform draws over
+/// [0, n).
+std::uint64_t occurrence_time(const std::vector<int>& s, int n,
+                              core::Xoshiro256pp& rng) {
+  std::size_t matched = 0;
+  std::uint64_t steps = 0;
+  while (matched < s.size()) {
+    ++steps;
+    if (static_cast<int>(rng.bounded(static_cast<std::uint64_t>(n))) ==
+        s[matched])
+      ++matched;
+  }
+  return steps;
+}
+
+TEST(SeqOccurrence, MeanIsNTimesLength) {
+  core::Xoshiro256pp rng(3);
+  const int n = 16;
+  for (int len : {4, 16, 48}) {
+    const auto s = core::seq_r(0, len, n);
+    std::vector<double> samples;
+    for (int t = 0; t < 400; ++t)
+      samples.push_back(
+          static_cast<double>(occurrence_time(s, n, rng)));
+    const auto sum = core::summarize(samples);
+    const double expected = static_cast<double>(n) * len;
+    // Each arc waits Geometric(1/n): mean n, so mean total = n*l; stddev of
+    // the mean over 400 trials ~ n*sqrt(l)/20 — allow 5 sigma.
+    const double tol = 5.0 * n * std::sqrt(static_cast<double>(len)) / 20.0;
+    EXPECT_NEAR(sum.mean, expected, tol) << "len=" << len;
+  }
+}
+
+TEST(SeqOccurrence, WhpTailBound) {
+  // With c = 3: occurrence within O(c n (l + log n)) w.h.p. — concretely,
+  // under 4 * c * n * (l + log2 n) steps in at least 99% of trials.
+  core::Xoshiro256pp rng(5);
+  const int n = 32, len = 32, c = 3;
+  const auto s = core::seq_r(5, len, n);
+  const double bound = 4.0 * c * n * (len + std::log2(n));
+  int exceeded = 0;
+  for (int t = 0; t < 300; ++t)
+    if (static_cast<double>(occurrence_time(s, n, rng)) > bound) ++exceeded;
+  EXPECT_LE(exceeded, 3);
+}
+
+TEST(SeqOccurrence, OrderMattersNotAdjacency) {
+  // The definition counts in-order, gap-tolerant occurrence: a sequence over
+  // two distinct arcs completes in ~2n steps, far below the n^2-ish budget
+  // that *consecutive* occurrence would need.
+  core::Xoshiro256pp rng(9);
+  const int n = 64;
+  const std::vector<int> s{3, 40};
+  std::vector<double> samples;
+  for (int t = 0; t < 500; ++t)
+    samples.push_back(static_cast<double>(occurrence_time(s, n, rng)));
+  EXPECT_NEAR(core::summarize(samples).mean, 2.0 * n, 20.0);
+}
+
+}  // namespace
+}  // namespace ppsim
