@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -16,5 +17,54 @@ namespace ppsim::bench {
 
 /// Header banner printed by every harness.
 void banner(const std::string& title, const std::string& paper_ref);
+
+/// Output path for a BENCH_<name>.json artifact: $PPSIM_BENCH_DIR/<file> or
+/// ./<file> when the variable is unset.
+[[nodiscard]] std::string bench_json_path(const std::string& name);
+
+/// Tiny streaming JSON writer for the BENCH_*.json perf-trajectory
+/// artifacts. Handles commas, quoting/escaping and two-space indentation;
+/// structural misuse trips an assert in debug builds. Scope is deliberately
+/// minimal — objects, arrays, strings, bools, int64/uint64/double.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const char* name);
+
+  void value(const char* s);
+  void value(const std::string& s) { value(s.c_str()); }
+  void value(bool b);
+  void value(double d);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  void field(const char* name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// Terminates the document with a trailing newline.
+  void finish();
+
+ private:
+  void separate();
+  void write_string(const char* s);
+
+  std::FILE* out_;
+  std::vector<char> stack_;     ///< '{' or '[' per open scope
+  bool first_in_scope_ = true;  ///< no comma needed before the next element
+  bool after_key_ = false;      ///< next value belongs to a pending key
+};
 
 }  // namespace ppsim::bench

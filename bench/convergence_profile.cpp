@@ -24,6 +24,7 @@ void profile_fresh(const char* title, const pl::PlParams& p,
                    const std::vector<pl::PlState>& init,
                    std::uint64_t seed) {
   // Single pass: run and sample simultaneously until safe (plus a tail).
+  // The inter-sample stretches go through the batched Runner::run fast path.
   core::Runner<pl::PlProtocol> run(p, init, seed);
   const std::uint64_t sample = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(p.n) * static_cast<std::uint64_t>(p.n) /

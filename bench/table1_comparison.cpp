@@ -7,6 +7,7 @@
 // exercised by tests/baselines/thue_morse_test.cpp and examples/tm_cube_demo.
 #include <cstdio>
 #include <iostream>
+#include <utility>
 
 #include "analysis/experiment.hpp"
 #include "analysis/scaling.hpp"
@@ -31,19 +32,14 @@ struct RowResult {
 template <typename P, typename MakeParams, typename Gen, typename Pred>
 RowResult sweep(const std::vector<int>& ns, MakeParams&& mk, Gen&& gen,
                 Pred&& pred, int trials, std::uint64_t tag) {
-  RowResult row;
-  for (int n : ns) {
-    const auto params = mk(n);
-    const auto n_u = static_cast<std::uint64_t>(params.n);
-    const std::uint64_t budget = 40'000ULL * n_u * n_u + 50'000'000ULL;
-    analysis::ScalingPoint pt;
-    pt.n = params.n;
-    pt.stats = analysis::measure_convergence<P>(
-        params, [&](core::Xoshiro256pp& rng) { return gen(params, rng); },
-        pred, trials, budget, kSeed, tag * 1000 + static_cast<unsigned>(n));
-    row.points.push_back(pt);
-  }
-  return row;
+  // Trial-parallel engine; bit-identical to the serial driver for any
+  // PPSIM_THREADS (analysis::measure_convergence_parallel). Note: the sweep
+  // helper derives per-point tags as `tag << 32 | n` (the old harness used
+  // `tag * 1000 + n`), so hitting times differ from pre-engine runs at the
+  // same kSeed — same distribution, different draws.
+  return RowResult{analysis::measure_scaling_sweep<P>(
+      ns, std::forward<MakeParams>(mk), std::forward<Gen>(gen),
+      std::forward<Pred>(pred), trials, kSeed, tag)};
 }
 
 void print_row_table(const char* name, const RowResult& row) {

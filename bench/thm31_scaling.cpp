@@ -21,21 +21,19 @@ int main() {
   const int c1 = bench::env_int("PPSIM_C1", 4);
   const auto ns = bench::ring_sweep(512);
 
-  std::vector<analysis::ScalingPoint> points;
+  // Trial-parallel sweep (fans out over cores; deterministic in seed_base=7).
+  const auto points = analysis::measure_scaling_sweep<pl::PlProtocol>(
+      ns, [&](int n) { return pl::PlParams::make(n, c1); },
+      [](const pl::PlParams& p, core::Xoshiro256pp& rng) {
+        return pl::random_config(p, rng);
+      },
+      pl::SafePredicate{}, trials, /*seed_base=*/7, /*tag_base=*/0);
+
   core::Table t({"n", "median", "mean", "p90", "max", "/(n^2 lg n)", "/n^2",
                  "/n^3", "fails"});
-  for (int n : ns) {
-    const auto p = pl::PlParams::make(n, c1);
-    const auto n_u = static_cast<std::uint64_t>(n);
-    analysis::ScalingPoint pt;
-    pt.n = n;
-    pt.stats = analysis::measure_convergence<pl::PlProtocol>(
-        p,
-        [&](core::Xoshiro256pp& rng) { return pl::random_config(p, rng); },
-        pl::SafePredicate{}, trials,
-        40'000ULL * n_u * n_u + 50'000'000ULL, 7, static_cast<unsigned>(n));
-    points.push_back(pt);
-    t.add_row({core::fmt_u64(n_u), core::fmt_double(pt.stats.steps.median, 4),
+  for (const auto& pt : points) {
+    t.add_row({core::fmt_u64(static_cast<std::uint64_t>(pt.n)),
+               core::fmt_double(pt.stats.steps.median, 4),
                core::fmt_double(pt.stats.steps.mean, 4),
                core::fmt_double(pt.stats.steps.p90, 4),
                core::fmt_double(pt.stats.steps.max, 4),

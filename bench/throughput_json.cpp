@@ -1,0 +1,170 @@
+// E18 — engine throughput trajectory: interactions/sec of the batched fast
+// path (Runner::run) versus the unbatched reference path
+// (Runner::run_unbatched, the pre-batching engine) measured in this same
+// binary, for the four runnable Table-1 protocols at n in {64, 1024, 16384}.
+//
+// Writes BENCH_throughput.json (schema documented in README.md) so the perf
+// trajectory of the simulation engine is tracked from PR 1 onward. Knobs:
+// PPSIM_BENCH_STEPS (steps per timed measurement), PPSIM_BENCH_REPEATS
+// (median-of-R), PPSIM_BENCH_DIR (artifact directory).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/fischer_jiang.hpp"
+#include "baselines/modk.hpp"
+#include "baselines/yokota28.hpp"
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+#include "core/table.hpp"
+#include "pl/adversary.hpp"
+#include "pl/protocol.hpp"
+#include "pl/safe_config.hpp"
+
+namespace {
+
+using namespace ppsim;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string protocol;
+  int n = 0;
+  std::size_t state_bytes = 0;
+  double unbatched_ips = 0.0;
+  double batched_ips = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return unbatched_ips > 0.0 ? batched_ips / unbatched_ips : 0.0;
+  }
+};
+
+/// Median-of-repeats interactions/sec of `body(steps)`.
+template <typename Body>
+double measure_ips(Body&& body, std::uint64_t steps, int repeats) {
+  std::vector<double> ips;
+  ips.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    body(steps);
+    const auto t1 = Clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    // Guard against a zero-resolution clock reading (tiny step counts).
+    ips.push_back(sec > 0.0 ? static_cast<double>(steps) / sec : 0.0);
+  }
+  std::sort(ips.begin(), ips.end());
+  return ips[ips.size() / 2];
+}
+
+/// BM_PlSteps-equivalent workload for one protocol/config: warm both paths,
+/// then time run_unbatched(k) and run(k) on the same runner.
+template <typename P>
+Row measure_protocol(const char* name, const typename P::Params& params,
+                     std::vector<typename P::State> init,
+                     std::uint64_t steps, int repeats) {
+  Row row;
+  row.protocol = name;
+  row.n = params.n;
+  row.state_bytes = sizeof(typename P::State);
+  core::Runner<P> warmed(params, std::move(init), /*seed=*/1);
+  warmed.run(steps / 4 + 1024);  // warm caches, reach workload equilibrium
+  // Each path starts from a copy of the same warmed snapshot (same agents,
+  // same RNG state), so neither is biased by the other having advanced the
+  // configuration first.
+  {
+    core::Runner<P> runner = warmed;
+    row.unbatched_ips = measure_ips(
+        [&](std::uint64_t k) { runner.run_unbatched(k); }, steps, repeats);
+  }
+  {
+    core::Runner<P> runner = warmed;
+    row.batched_ips =
+        measure_ips([&](std::uint64_t k) { runner.run(k); }, steps, repeats);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppsim;
+  bench::banner("Engine throughput — batched vs unbatched scheduler",
+                "engineering artifact (perf trajectory, not a paper figure)");
+
+  const auto steps = static_cast<std::uint64_t>(
+      bench::env_int("PPSIM_BENCH_STEPS", 4'000'000));
+  const int repeats = bench::env_int("PPSIM_BENCH_REPEATS", 5);
+  const int c1 = bench::env_int("PPSIM_C1", 4);
+
+  std::vector<Row> rows;
+  for (int n : {64, 1024, 16384}) {
+    {
+      const auto p = pl::PlParams::make(n, c1);
+      rows.push_back(measure_protocol<pl::PlProtocol>(
+          "P_PL", p, pl::make_safe_config(p), steps, repeats));
+    }
+    {
+      const auto p = baselines::ModkParams::make(n + 1, 2);  // n odd for modk
+      core::Xoshiro256pp rng(1);
+      rows.push_back(measure_protocol<baselines::Modk>(
+          "modk", p, baselines::modk_random_config(p, rng), steps, repeats));
+    }
+    {
+      const auto p = baselines::Y28Params::make(n);
+      core::Xoshiro256pp rng(1);
+      rows.push_back(measure_protocol<baselines::Yokota28>(
+          "yokota28", p, baselines::y28_random_config(p, rng), steps,
+          repeats));
+    }
+    {
+      const auto p = baselines::FjParams::make(n);
+      core::Xoshiro256pp rng(1);
+      rows.push_back(measure_protocol<baselines::FischerJiang>(
+          "fischer_jiang", p, baselines::fj_random_config(p, rng), steps,
+          repeats));
+    }
+  }
+
+  core::Table t({"protocol", "n", "unbatched M/s", "batched M/s", "speedup"});
+  for (const Row& r : rows) {
+    t.add_row({r.protocol, core::fmt_u64(static_cast<unsigned long long>(r.n)),
+               core::fmt_double(r.unbatched_ips / 1e6, 4),
+               core::fmt_double(r.batched_ips / 1e6, 4),
+               core::fmt_double(r.speedup(), 3)});
+  }
+  t.print(std::cout);
+
+  const std::string path = bench::bench_json_path("throughput");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  bench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "throughput");
+  w.field("schema_version", 1);
+  w.field("unit", "interactions_per_second");
+  w.field("steps_per_measurement", steps);
+  w.field("repeats", repeats);
+  w.key("results");
+  w.begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.field("protocol", r.protocol);
+    w.field("n", r.n);
+    w.field("state_bytes", static_cast<std::uint64_t>(r.state_bytes));
+    w.field("unbatched_ips", r.unbatched_ips);
+    w.field("batched_ips", r.batched_ips);
+    w.field("speedup", r.speedup());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.finish();
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "analysis/experiment.hpp"
 #include "bench_util.hpp"
 #include "core/histogram.hpp"
 #include "core/runner.hpp"
@@ -26,18 +27,23 @@ int main() {
   const int c1 = bench::env_int("PPSIM_C1", 4);
   const auto p = pl::PlParams::make(n, c1);
 
+  // Trial-parallel engine; the histogram and summary are rebuilt from the
+  // deterministic raw hitting times (trial order, failures excluded).
+  // Note: this migration unified the config-RNG seeding with the experiment
+  // driver's scheme (seed ^ 0xC0FFEE), so tail numbers differ from the
+  // pre-engine harness even at the same seed_base — same distribution,
+  // different draws.
+  const auto stats = analysis::measure_convergence_parallel<pl::PlProtocol>(
+      p, [&](core::Xoshiro256pp& rng) { return pl::random_config(p, rng); },
+      pl::SafePredicate{}, trials, 4'000'000'000ULL, /*seed_base=*/4242,
+      /*tag=*/1);
   core::LogHistogram hist;
   std::vector<double> samples;
-  for (int t = 0; t < trials; ++t) {
-    const std::uint64_t seed = core::derive_seed(4242, 1, t);
-    core::Xoshiro256pp cfg_rng(seed);
-    core::Runner<pl::PlProtocol> run(p, pl::random_config(p, cfg_rng), seed);
-    const auto hit = run.run_until(pl::SafePredicate{}, 4'000'000'000ULL);
-    if (!hit) continue;
-    hist.add(*hit);
-    samples.push_back(static_cast<double>(*hit));
+  for (const std::uint64_t hit : stats.raw) {
+    hist.add(hit);
+    samples.push_back(static_cast<double>(hit));
   }
-  const auto s = core::summarize(samples);
+  const auto& s = stats.steps;  // already summarized by the engine
   const double n2logn = static_cast<double>(n) * n *
                         std::log2(static_cast<double>(n));
 

@@ -1,12 +1,27 @@
 // Experiment driver: repeated-trial convergence measurement with decorrelated
 // seeds, used by every bench harness and the integration tests.
+//
+// Two drivers share one seeding scheme (derive_seed(seed_base, tag, t) per
+// trial, config RNG seeded with seed ^ 0xC0FFEE):
+//
+//  * measure_convergence          — the serial reference loop.
+//  * measure_convergence_parallel — fans trials out over a core::ThreadPool.
+//    Because the pool distributes only trial *indices* and each trial owns
+//    its runner and RNGs, the returned ConvergenceStats (including the raw
+//    hitting-time vector, in trial order) is bit-identical to the serial
+//    driver for every thread count (tests/analysis/analysis_test.cpp).
+//
+// `gen` and `pred` are invoked concurrently from pool threads and must be
+// safe to call in parallel (the stateless lambdas used by all harnesses are).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/runner.hpp"
 #include "core/statistics.hpp"
@@ -20,6 +35,28 @@ struct ConvergenceStats {
   std::vector<std::uint64_t> raw;
 };
 
+namespace detail {
+
+/// One trial of the convergence experiment; returns the hitting step or
+/// Runner<P>::npos on timeout. Shared by the serial and parallel drivers so
+/// their per-trial computation cannot drift apart.
+template <typename P, typename ConfigGen, typename Pred>
+[[nodiscard]] std::uint64_t convergence_trial(
+    const typename P::Params& params, ConfigGen& gen, Pred& pred,
+    std::uint64_t max_steps, std::uint64_t seed_base, std::uint64_t tag,
+    std::uint64_t t) {
+  const std::uint64_t seed = core::derive_seed(seed_base, tag, t);
+  core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
+  core::Runner<P> runner(params, gen(cfg_rng), seed);
+  return runner.run_until(pred, max_steps).value_or(core::Runner<P>::npos);
+}
+
+/// Fold per-trial hitting times (npos = failure) into ConvergenceStats.
+[[nodiscard]] ConvergenceStats fold_trials(
+    const std::vector<std::uint64_t>& hits);
+
+}  // namespace detail
+
 /// Run `trials` executions of protocol P from configurations produced by
 /// `gen(rng)` until `pred(agents, params)` holds (checked every ~n steps),
 /// collecting hitting times. Trials exceeding `max_steps` count as failures
@@ -29,22 +66,33 @@ template <typename P, typename ConfigGen, typename Pred>
     const typename P::Params& params, ConfigGen&& gen, Pred&& pred,
     int trials, std::uint64_t max_steps, std::uint64_t seed_base,
     std::uint64_t tag) {
-  ConvergenceStats out;
-  out.trials = trials;
-  for (int t = 0; t < trials; ++t) {
-    const std::uint64_t seed =
-        core::derive_seed(seed_base, tag, static_cast<std::uint64_t>(t));
-    core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
-    core::Runner<P> runner(params, gen(cfg_rng), seed);
-    const auto hit = runner.run_until(pred, max_steps);
-    if (hit.has_value()) {
-      out.raw.push_back(*hit);
-    } else {
-      ++out.failures;
-    }
+  // Negative counts degrade to zero trials (PPSIM_TRIALS is raw atoi).
+  std::vector<std::uint64_t> hits(
+      static_cast<std::size_t>(std::max(trials, 0)));
+  for (std::size_t t = 0; t < hits.size(); ++t) {
+    hits[t] = detail::convergence_trial<P>(params, gen, pred, max_steps,
+                                           seed_base, tag,
+                                           static_cast<std::uint64_t>(t));
   }
-  out.steps = core::summarize_u64(out.raw);
-  return out;
+  return detail::fold_trials(hits);
+}
+
+/// Trial-parallel driver: same seeding, same results, `threads` workers
+/// (0 = PPSIM_THREADS / hardware concurrency).
+template <typename P, typename ConfigGen, typename Pred>
+[[nodiscard]] ConvergenceStats measure_convergence_parallel(
+    const typename P::Params& params, ConfigGen&& gen, Pred&& pred,
+    int trials, std::uint64_t max_steps, std::uint64_t seed_base,
+    std::uint64_t tag, int threads = 0) {
+  std::vector<std::uint64_t> hits(
+      static_cast<std::size_t>(std::max(trials, 0)));
+  core::ThreadPool pool(threads);
+  pool.for_index(hits.size(), [&](std::size_t t) {
+    hits[t] = detail::convergence_trial<P>(params, gen, pred, max_steps,
+                                           seed_base, tag,
+                                           static_cast<std::uint64_t>(t));
+  });
+  return detail::fold_trials(hits);
 }
 
 /// One (n, statistics) point of a scaling sweep.
@@ -52,6 +100,40 @@ struct ScalingPoint {
   int n = 0;
   ConvergenceStats stats;
 };
+
+/// Step budget used by the convergence sweeps: enough for the Theta(n^3)
+/// baselines at small n and the n^2 polylog protocols throughout.
+[[nodiscard]] constexpr std::uint64_t sweep_budget(int n) noexcept {
+  const auto n_u = static_cast<std::uint64_t>(n);
+  return 40'000ULL * n_u * n_u + 50'000'000ULL;
+}
+
+/// Shared ring-size sweep driver (Theorem 3.1 / Table 1 harnesses): for each
+/// n, builds params via `mk(n)`, draws configurations via `gen(params, rng)`
+/// and measures convergence to `pred` with the trial-parallel engine.
+/// Per-point tag is `tag_base << 32 | params.n` — collision-free for any
+/// n that fits 32 bits, so sweep points stay decorrelated and reproducible
+/// independent of sweep order.
+template <typename P, typename MakeParams, typename ConfigGen, typename Pred>
+[[nodiscard]] std::vector<ScalingPoint> measure_scaling_sweep(
+    const std::vector<int>& ns, MakeParams&& mk, ConfigGen&& gen, Pred&& pred,
+    int trials, std::uint64_t seed_base, std::uint64_t tag_base,
+    int threads = 0) {
+  std::vector<ScalingPoint> points;
+  points.reserve(ns.size());
+  for (int n : ns) {
+    const auto params = mk(n);
+    ScalingPoint pt;
+    pt.n = params.n;
+    pt.stats = measure_convergence_parallel<P>(
+        params,
+        [&](core::Xoshiro256pp& rng) { return gen(params, rng); }, pred,
+        trials, sweep_budget(params.n), seed_base,
+        (tag_base << 32) | static_cast<std::uint64_t>(params.n), threads);
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
 
 /// Fits median hitting time ~ c * n^e over the sweep (failures excluded).
 [[nodiscard]] core::PowerFit fit_median_scaling(

@@ -19,13 +19,38 @@
 // (u_i, u_{i+1}) — the *left* agent is the initiator, matching the paper's
 // "l is the initiator and r is the responder". On the undirected ring there
 // are 2n arcs: e_i and its reverse (u_{i+1}, u_i), each with probability 1/2n.
+//
+// Two scheduler paths share one RNG stream and are bit-identical:
+//
+//  * `run_unbatched(k)` — the reference path: one `bounded()` draw per step,
+//    unconditional before/after predicate census (the engine as originally
+//    written).
+//  * `run(k)` — the fused fast path: amortized Lemire bounded sampling (the
+//    rejection threshold is hoisted out of the loop; block sampling into a
+//    caller buffer is also available as `Xoshiro256pp::fill_bounded`, but
+//    draining the generator's serial dependency chain up front measured
+//    slower than fusing it into the transition loop — see README.md), plus a
+//    *delta census*: small trivially-copyable states are snapshotted into a
+//    64-bit image before the transition, and when the interaction was a
+//    no-op (bitwise-equal states — the common case for the O(1)-state
+//    baselines once stabilized) the census math and all four predicate
+//    re-evaluations are skipped entirely; otherwise the snapshot supplies
+//    the "before" predicate values. Protocols without leader/token outputs
+//    compile down to a bare draw-and-apply loop.
+//
+// Both paths maintain identical census values at every step (a no-op
+// interaction cannot change any count), so any mix of step()/run()/
+// run_unbatched() produces the same trajectory (tests/core/batch_test.cpp).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -108,16 +133,44 @@ class Runner {
   void set_oracle_delay(std::uint64_t d) noexcept { oracle_delay_ = d; }
 
   /// Overwrite one agent's state (fault injection / adversarial setup).
+  /// Counts as a change of the leader set at the current step when the
+  /// injected state flips the agent's leader output, so fault-injection
+  /// harnesses reading `last_leader_change()` see the injection.
   void set_agent(int i, const State& s) {
+    bool flipped = false;
+    if constexpr (HasLeaderOutput<P>) {
+      flipped =
+          P::is_leader(agents_.at(i), params_) != P::is_leader(s, params_);
+    }
+    const bool was_leaderless = leader_count_ == 0;
+    const std::uint64_t since = leaderless_since_;
     agents_.at(i) = s;
     recount_leaders();
+    if (flipped) last_leader_change_ = steps_;
+    // An injection into an already-leaderless population must not reset the
+    // Omega? leaderless clock to "now" — the oracle's delay counts from the
+    // original onset of leaderlessness.
+    if (was_leaderless && leader_count_ == 0) leaderless_since_ = since;
   }
 
   /// Execute a single uniformly random interaction.
   void step() { apply_arc(static_cast<int>(rng_.bounded(arc_count()))); }
 
-  /// Execute `k` uniformly random interactions.
+  /// Execute `k` uniformly random interactions through the fused fast path.
   void run(std::uint64_t k) {
+    const auto bound = static_cast<std::uint64_t>(arc_count());
+    const std::uint64_t threshold = Xoshiro256pp::rejection_threshold(bound);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      apply_arc_batched(
+          static_cast<int>(rng_.bounded_with_threshold(bound, threshold)));
+    }
+  }
+
+  /// Execute `k` uniformly random interactions one draw at a time with the
+  /// unconditional before/after census — the pre-batching engine, kept as
+  /// the reference path (bench/throughput_json.cpp measures both in one
+  /// binary).
+  void run_unbatched(std::uint64_t k) {
     for (std::uint64_t i = 0; i < k; ++i) step();
   }
 
@@ -125,17 +178,9 @@ class Runner {
   /// For directed protocols arc in [0, n); for undirected, arcs in [n, 2n)
   /// are the reversed pairs (u_{a-n+1} initiator, u_{a-n} responder).
   void apply_arc(int arc) {
-    const int n = params_.n;
-    int init_idx, resp_idx;
-    if (arc < n) {
-      init_idx = arc;
-      resp_idx = arc + 1 == n ? 0 : arc + 1;
-    } else {
-      resp_idx = arc - n;
-      init_idx = resp_idx + 1 == n ? 0 : resp_idx + 1;
-    }
-    State& a = agents_[static_cast<std::size_t>(init_idx)];
-    State& b = agents_[static_cast<std::size_t>(resp_idx)];
+    const auto [init_idx, resp_idx] = arc_endpoints(arc);
+    State& a = agents_[init_idx];
+    State& b = agents_[resp_idx];
     if constexpr (HasLeaderOutput<P>) {
       const bool la = P::is_leader(a, params_);
       const bool lb = P::is_leader(b, params_);
@@ -145,20 +190,7 @@ class Runner {
         tb = P::has_token(b, params_) ? 1 : 0;
       }
       dispatch(a, b);
-      const bool la2 = P::is_leader(a, params_);
-      const bool lb2 = P::is_leader(b, params_);
-      leader_count_ += static_cast<int>(la2) - static_cast<int>(la) +
-                       static_cast<int>(lb2) - static_cast<int>(lb);
-      if (la != la2 || lb != lb2) last_leader_change_ = steps_ + 1;
-      if (leader_count_ > 0) {
-        leaderless_since_ = npos;
-      } else if (leaderless_since_ == npos) {
-        leaderless_since_ = steps_ + 1;
-      }
-      if constexpr (HasTokenCensus<P>) {
-        token_count_ += (P::has_token(a, params_) ? 1 : 0) - ta +
-                        (P::has_token(b, params_) ? 1 : 0) - tb;
-      }
+      census_after(a, b, la, lb, ta, tb);
     } else {
       dispatch(a, b);
     }
@@ -200,6 +232,110 @@ class Runner {
   }
 
  private:
+  // Token-census states that fit a 64-bit image are snapshotted before the
+  // transition so a no-op interaction (bitwise-equal states) can skip the
+  // census — including all four has_token re-evaluations — entirely; for
+  // Fischer–Jiang-style oracle protocols most interactions are no-ops once
+  // stabilized and this is a measured ~1.8x. Padding bytes may spuriously
+  // differ in the image; that only costs a redundant census pass, never a
+  // missed one. Leader-only protocols deliberately do NOT snapshot: their
+  // census is two single-byte predicate reads anyway, and re-loading a
+  // word-sized image right after the transition's byte stores trips
+  // store-to-load-forwarding stalls that measured far more expensive than
+  // the census being skipped (modk went 4x slower).
+  static constexpr bool kSnapshotStates = HasTokenCensus<P> &&
+                                          std::is_trivially_copyable_v<State> &&
+                                          sizeof(State) <= 8;
+
+  /// Zero-filled 64-bit image of a state (single-compare equality).
+  [[nodiscard]] static std::uint64_t state_image(const State& s) noexcept
+    requires(kSnapshotStates)
+  {
+    std::uint64_t v = 0;
+    std::memcpy(&v, &s, sizeof(State));
+    return v;
+  }
+
+  [[nodiscard]] std::pair<std::size_t, std::size_t> arc_endpoints(
+      int arc) const noexcept {
+    const int n = params_.n;
+    int init_idx, resp_idx;
+    if (arc < n) {
+      init_idx = arc;
+      resp_idx = arc + 1 == n ? 0 : arc + 1;
+    } else {
+      resp_idx = arc - n;
+      init_idx = resp_idx + 1 == n ? 0 : resp_idx + 1;
+    }
+    return {static_cast<std::size_t>(init_idx),
+            static_cast<std::size_t>(resp_idx)};
+  }
+
+  /// One interaction of the fast path: delta census via state snapshots.
+  /// Bit-identical to apply_arc() — see the header comment.
+  void apply_arc_batched(int arc) {
+    const auto [init_idx, resp_idx] = arc_endpoints(arc);
+    State& a = agents_[init_idx];
+    State& b = agents_[resp_idx];
+    if constexpr (!HasLeaderOutput<P>) {
+      // Compile-time specialization: no outputs to track, bare transition.
+      dispatch(a, b);
+    } else if constexpr (kSnapshotStates) {
+      // Images are built straight from the array slots (two loads each);
+      // the old states are only materialized on the rare changed path.
+      const std::uint64_t image_a = state_image(a);
+      const std::uint64_t image_b = state_image(b);
+      dispatch(a, b);
+      if (state_image(a) != image_a || state_image(b) != image_b) {
+        State oa, ob;
+        std::memcpy(&oa, &image_a, sizeof(State));
+        std::memcpy(&ob, &image_b, sizeof(State));
+        // The snapshot supplies the "before" predicate values.
+        const bool la = P::is_leader(oa, params_);
+        const bool lb = P::is_leader(ob, params_);
+        int ta = 0, tb = 0;
+        if constexpr (HasTokenCensus<P>) {
+          ta = P::has_token(oa, params_) ? 1 : 0;
+          tb = P::has_token(ob, params_) ? 1 : 0;
+        }
+        census_after(a, b, la, lb, ta, tb);
+      }
+    } else {
+      const bool la = P::is_leader(a, params_);
+      const bool lb = P::is_leader(b, params_);
+      int ta = 0, tb = 0;
+      if constexpr (HasTokenCensus<P>) {
+        ta = P::has_token(a, params_) ? 1 : 0;
+        tb = P::has_token(b, params_) ? 1 : 0;
+      }
+      dispatch(a, b);
+      census_after(a, b, la, lb, ta, tb);
+    }
+    ++steps_;
+  }
+
+  /// Fold the post-transition predicate values of the touched pair into the
+  /// census, given the pre-transition values. Shared by both scheduler paths.
+  void census_after(const State& a, const State& b, bool la, bool lb, int ta,
+                    int tb) {
+    if constexpr (HasLeaderOutput<P>) {
+      const bool la2 = P::is_leader(a, params_);
+      const bool lb2 = P::is_leader(b, params_);
+      leader_count_ += static_cast<int>(la2) - static_cast<int>(la) +
+                       static_cast<int>(lb2) - static_cast<int>(lb);
+      if (la != la2 || lb != lb2) last_leader_change_ = steps_ + 1;
+      if (leader_count_ > 0) {
+        leaderless_since_ = npos;
+      } else if (leaderless_since_ == npos) {
+        leaderless_since_ = steps_ + 1;
+      }
+      if constexpr (HasTokenCensus<P>) {
+        token_count_ += (P::has_token(a, params_) ? 1 : 0) - ta +
+                        (P::has_token(b, params_) ? 1 : 0) - tb;
+      }
+    }
+  }
+
   void dispatch(State& a, State& b) {
     if constexpr (WantsOracle<P>) {
       InteractionContext ctx;

@@ -46,6 +46,57 @@ TEST(Experiment, SeedsDecorrelateTrials) {
   EXPECT_GT(distinct.size(), 1u);  // identical seeds would all coincide
 }
 
+TEST(Experiment, ParallelMatchesSerialBitIdentically) {
+  // The acceptance bar for the trial-parallel engine: identical raw
+  // hitting-time vectors (order included) for every thread count, on >= 100
+  // trials. n is kept small so the whole matrix stays fast.
+  const auto p = pl::PlParams::make(8, 2);
+  auto gen = [&](core::Xoshiro256pp& rng) { return pl::random_config(p, rng); };
+  const int trials = 120;
+  const auto serial = measure_convergence<pl::PlProtocol>(
+      p, gen, pl::SafePredicate{}, trials, 50'000'000ULL, 11, 5);
+  ASSERT_EQ(serial.trials, trials);
+  for (int threads : {1, 2, 3, 4, 7}) {
+    const auto par = measure_convergence_parallel<pl::PlProtocol>(
+        p, gen, pl::SafePredicate{}, trials, 50'000'000ULL, 11, 5, threads);
+    EXPECT_EQ(par.trials, serial.trials) << "threads=" << threads;
+    EXPECT_EQ(par.failures, serial.failures) << "threads=" << threads;
+    EXPECT_EQ(par.raw, serial.raw) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(par.steps.mean, serial.steps.mean)
+        << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(par.steps.median, serial.steps.median)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Experiment, ParallelCountsFailures) {
+  const auto p = pl::PlParams::make(16, 4);
+  const auto stats = measure_convergence_parallel<pl::PlProtocol>(
+      p, [&](core::Xoshiro256pp& rng) { return pl::random_config(p, rng); },
+      pl::SafePredicate{}, 4, /*max_steps=*/10, 2, 2, /*threads=*/3);
+  EXPECT_EQ(stats.failures, 4);
+  EXPECT_TRUE(stats.raw.empty());
+}
+
+TEST(Experiment, ScalingSweepIsDeterministic) {
+  const std::vector<int> ns = {4, 8};
+  auto run_sweep = [&](int threads) {
+    return measure_scaling_sweep<pl::PlProtocol>(
+        ns, [](int n) { return pl::PlParams::make(n, 2); },
+        [](const pl::PlParams& pp, core::Xoshiro256pp& rng) {
+          return pl::random_config(pp, rng);
+        },
+        pl::SafePredicate{}, 5, /*seed_base=*/21, /*tag_base=*/3, threads);
+  };
+  const auto a = run_sweep(1);
+  const auto b = run_sweep(4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].n, b[i].n);
+    EXPECT_EQ(a[i].stats.raw, b[i].stats.raw);
+  }
+}
+
 TEST(Scaling, FitRecoversQuadratic) {
   std::vector<ScalingPoint> pts;
   for (int n : {8, 16, 32, 64}) {

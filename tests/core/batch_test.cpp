@@ -1,0 +1,223 @@
+// Batched-vs-stepwise engine equivalence: Runner::run (fused fast path,
+// delta census) must produce bit-identical trajectories and census values to
+// Runner::run_unbatched (the per-step reference path) — same RNG stream, same
+// agent states, same leader/token bookkeeping — for every census shape the
+// engine specializes on: no outputs, leader output only, leader + token
+// census with the oracle, and the real protocols of the study.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/fischer_jiang.hpp"
+#include "baselines/modk.hpp"
+#include "baselines/yokota28.hpp"
+#include "core/runner.hpp"
+#include "pl/adversary.hpp"
+#include "pl/protocol.hpp"
+#include "pl/safe_config.hpp"
+
+namespace ppsim::core {
+namespace {
+
+/// Toy protocol without outputs (exercises the bare-loop specialization).
+struct PlainProto {
+  struct State {
+    std::uint32_t v = 0;
+  };
+  struct Params {
+    int n = 0;
+  };
+  static constexpr bool directed = true;
+  static void apply(State& l, State& r, const Params&) {
+    r.v = l.v * 2654435761u + 1;
+  }
+};
+
+/// Toy leader protocol (exercises the leader-only census path).
+struct LeaderProto {
+  struct State {
+    std::uint8_t leader = 0;
+    std::uint8_t age = 0;
+  };
+  struct Params {
+    int n = 0;
+  };
+  static constexpr bool directed = true;
+  static void apply(State& l, State& r, const Params&) {
+    ++r.age;
+    if (l.leader == 1 && r.leader == 1) r.leader = 0;
+    if (l.age == 0xFF && r.leader == 0) {
+      r.leader = 1;  // occasionally revive a leader so counts keep moving
+      l.age = 0;
+    }
+  }
+  static bool is_leader(const State& s, const Params&) {
+    return s.leader == 1;
+  }
+};
+
+/// Oracle + token census toy (exercises the snapshot-skip path: small state,
+/// has_token, frequent no-op interactions).
+struct OracleTokenProto {
+  struct State {
+    std::uint8_t leader = 0;
+    std::uint8_t token = 0;
+  };
+  struct Params {
+    int n = 0;
+  };
+  static constexpr bool directed = true;
+  static void apply(State& l, State& r, const Params&,
+                    const InteractionContext& ctx) {
+    if (ctx.no_leader) {
+      r.leader = 1;
+      r.token = 1;
+    } else if (l.token == 1 && r.leader == 1) {
+      l.token = 0;
+      r.leader = 0;  // a token reaching a leader deposes it
+    } else if (l.token == 1 && r.token == 0) {
+      l.token = 0;
+      r.token = 1;
+    }
+  }
+  static bool is_leader(const State& s, const Params&) {
+    return s.leader == 1;
+  }
+  static bool has_token(const State& s, const Params&) {
+    return s.token == 1;
+  }
+};
+
+/// Drive one runner with run_unbatched and a copy with run over the same
+/// schedule of chunk lengths, comparing full state and census at every sync
+/// point. `Eq(a, b)` compares agent states.
+template <typename P, typename Eq>
+void expect_equivalent(Runner<P> a, std::uint64_t total_steps, Eq&& eq) {
+  Runner<P> b = a;  // identical snapshot: same RNG state, same agents
+  // Uneven chunking on the batched side exercises block boundaries.
+  const std::uint64_t chunks[] = {1, 7, 1024, 4096, 5000, 333};
+  std::uint64_t done = 0;
+  std::size_t c = 0;
+  while (done < total_steps) {
+    const std::uint64_t k =
+        std::min(chunks[c++ % std::size(chunks)], total_steps - done);
+    a.run_unbatched(k);
+    b.run(k);
+    done += k;
+    ASSERT_EQ(a.steps(), b.steps());
+    ASSERT_EQ(a.leader_count(), b.leader_count());
+    ASSERT_EQ(a.last_leader_change(), b.last_leader_change());
+    for (int i = 0; i < a.n(); ++i) {
+      ASSERT_TRUE(eq(a.agent(i), b.agent(i)))
+          << "agent " << i << " diverged at step " << a.steps();
+    }
+  }
+}
+
+TEST(BatchedRunner, PlainProtocolIdenticalOver100kSteps) {
+  std::vector<PlainProto::State> init(33);
+  expect_equivalent(Runner<PlainProto>({33}, init, 42), 100'000,
+                    [](const PlainProto::State& x, const PlainProto::State& y) {
+                      return x.v == y.v;
+                    });
+}
+
+TEST(BatchedRunner, LeaderCensusIdenticalOver100kSteps) {
+  std::vector<LeaderProto::State> init(16);
+  init[0].leader = init[5].leader = init[6].leader = 1;
+  expect_equivalent(Runner<LeaderProto>({16}, init, 7), 100'000,
+                    [](const LeaderProto::State& x, const LeaderProto::State& y) {
+                      return x.leader == y.leader && x.age == y.age;
+                    });
+}
+
+TEST(BatchedRunner, OracleTokenCensusIdenticalOver100kSteps) {
+  std::vector<OracleTokenProto::State> init(12);
+  expect_equivalent(
+      Runner<OracleTokenProto>({12}, init, 99), 100'000,
+      [](const OracleTokenProto::State& x, const OracleTokenProto::State& y) {
+        return x.leader == y.leader && x.token == y.token;
+      });
+}
+
+TEST(BatchedRunner, OracleDelayIdentical) {
+  std::vector<OracleTokenProto::State> init(8);
+  Runner<OracleTokenProto> r({8}, init, 3);
+  r.set_oracle_delay(50);
+  expect_equivalent(
+      std::move(r), 20'000,
+      [](const OracleTokenProto::State& x, const OracleTokenProto::State& y) {
+        return x.leader == y.leader && x.token == y.token;
+      });
+}
+
+TEST(BatchedRunner, PlProtocolIdenticalOver100kSteps) {
+  const auto p = pl::PlParams::make(32, 4);
+  core::Xoshiro256pp rng(5);
+  expect_equivalent(
+      Runner<pl::PlProtocol>(p, pl::random_config(p, rng), 1), 100'000,
+      [](const pl::PlState& x, const pl::PlState& y) { return x == y; });
+}
+
+TEST(BatchedRunner, PlProtocolFromSafeConfigIdentical) {
+  const auto p = pl::PlParams::make(64, 4);
+  expect_equivalent(
+      Runner<pl::PlProtocol>(p, pl::make_safe_config(p), 8), 100'000,
+      [](const pl::PlState& x, const pl::PlState& y) { return x == y; });
+}
+
+TEST(BatchedRunner, FischerJiangIdenticalOver100kSteps) {
+  const auto p = baselines::FjParams::make(24);
+  core::Xoshiro256pp rng(2);
+  expect_equivalent(
+      Runner<baselines::FischerJiang>(p, baselines::fj_random_config(p, rng),
+                                      4),
+      100'000, [](const baselines::FjState& x, const baselines::FjState& y) {
+        return x == y;
+      });
+}
+
+TEST(BatchedRunner, ModkIdenticalOver100kSteps) {
+  const auto p = baselines::ModkParams::make(25, 2);
+  core::Xoshiro256pp rng(6);
+  expect_equivalent(
+      Runner<baselines::Modk>(p, baselines::modk_random_config(p, rng), 8),
+      100'000,
+      [](const baselines::ModkState& x, const baselines::ModkState& y) {
+        return x == y;
+      });
+}
+
+TEST(BatchedRunner, Yokota28IdenticalOver100kSteps) {
+  const auto p = baselines::Y28Params::make(24);
+  core::Xoshiro256pp rng(8);
+  expect_equivalent(
+      Runner<baselines::Yokota28>(p, baselines::y28_random_config(p, rng), 9),
+      100'000,
+      [](const baselines::Y28State& x, const baselines::Y28State& y) {
+        return x == y;
+      });
+}
+
+TEST(BatchedRunner, MixedPathsShareOneStream) {
+  // step(), run(), run_unbatched() interleaved on one runner equal a pure
+  // unbatched runner: all three consume the same RNG stream.
+  const auto p = pl::PlParams::make(16, 4);
+  core::Xoshiro256pp rng(12);
+  const auto init = pl::random_config(p, rng);
+  Runner<pl::PlProtocol> mixed(p, init, 77);
+  Runner<pl::PlProtocol> pure(p, init, 77);
+  mixed.run(1000);
+  for (int i = 0; i < 500; ++i) mixed.step();
+  mixed.run_unbatched(250);
+  mixed.run(1250);
+  pure.run_unbatched(3000);
+  ASSERT_EQ(mixed.steps(), pure.steps());
+  for (int i = 0; i < p.n; ++i) EXPECT_EQ(mixed.agent(i), pure.agent(i));
+  EXPECT_EQ(mixed.leader_count(), pure.leader_count());
+  EXPECT_EQ(mixed.last_leader_change(), pure.last_leader_change());
+}
+
+}  // namespace
+}  // namespace ppsim::core

@@ -149,6 +149,49 @@ TEST(Runner, SchedulerIsUniformOverArcs) {
   EXPECT_LT(chi_square_uniform(counts), 45.0);
 }
 
+TEST(Runner, SetAgentUpdatesLeaderCensusAndChangeStep) {
+  std::vector<LeaderProto::State> init(4);
+  init[0].leader = 1;
+  Runner<LeaderProto> run({4}, init, 1);
+  run.run(100);  // the protocol can't change anything here
+  EXPECT_EQ(run.leader_count(), 1);
+  EXPECT_EQ(run.last_leader_change(), 0u);
+
+  // Fault injection deleting the unique leader: the census recounts AND the
+  // change step reflects the injection (previously it stayed stale).
+  LeaderProto::State follower;
+  run.set_agent(0, follower);
+  EXPECT_EQ(run.leader_count(), 0);
+  EXPECT_EQ(run.last_leader_change(), 100u);
+
+  // Injecting a state that does not flip the leader output leaves the
+  // change step untouched.
+  run.run(50);
+  LeaderProto::State still_follower;
+  run.set_agent(1, still_follower);
+  EXPECT_EQ(run.last_leader_change(), 100u);
+
+  // Re-creating a leader is a change again.
+  LeaderProto::State leader;
+  leader.leader = 1;
+  run.set_agent(2, leader);
+  EXPECT_EQ(run.leader_count(), 1);
+  EXPECT_EQ(run.last_leader_change(), 150u);
+}
+
+TEST(Runner, SetAgentPreservesLeaderlessClock) {
+  // Injecting a state into an already-leaderless population must not reset
+  // Omega?'s leaderless clock: the oracle delay counts from the original
+  // onset of leaderlessness, not from the injection.
+  Runner<OracleProto> run({4}, std::vector<OracleProto::State>(4), 1);
+  run.set_oracle_delay(10);
+  for (int i = 0; i < 5; ++i) run.apply_arc(i % 4);
+  EXPECT_EQ(run.leader_count(), 0);
+  run.set_agent(0, OracleProto::State{});  // fault injection, still leaderless
+  for (int i = 0; i < 6; ++i) run.apply_arc(i % 4);  // reaches step 11 > 10
+  EXPECT_EQ(run.leader_count(), 1);  // fires at onset+10, not injection+10
+}
+
 TEST(Runner, SnapshotViaCopy) {
   Runner<CountProto> run({4}, std::vector<CountProto::State>(4), 1);
   run.run(100);
