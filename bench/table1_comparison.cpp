@@ -7,6 +7,7 @@
 // exercised by tests/baselines/thue_morse_test.cpp and examples/tm_cube_demo.
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <utility>
 
 #include "analysis/experiment.hpp"
@@ -58,8 +59,14 @@ void print_row_table(const char* name, const RowResult& row) {
   std::printf("\n-- %s --\n", name);
   t.print(std::cout);
   const auto fit = analysis::fit_median_scaling(row.points);
-  std::printf("fitted: steps ~ %.3g * n^%.2f  (r2 = %.3f)\n", fit.constant,
-              fit.exponent, fit.r2);
+  if (fit.valid) {
+    std::printf("fitted: steps ~ %.3g * n^%.2f  (r2 = %.3f)%s\n",
+                fit.constant, fit.exponent, fit.r2,
+                fit.skipped > 0 ? "  [degenerate points skipped]" : "");
+  } else {
+    std::printf("fit INVALID (%d degenerate point(s), < 2 usable)\n",
+                fit.skipped);
+  }
 }
 
 }  // namespace
@@ -128,8 +135,9 @@ int main() {
   core::Table t1({"protocol", "assumption", "paper bound", "measured n-exp",
                   "#states at n=128"});
   auto exp_of = [](const RowResult& r) {
-    return core::fmt_double(analysis::fit_median_scaling(r.points).exponent,
-                            3);
+    const auto fit = analysis::fit_median_scaling(r.points);
+    return fit.valid ? core::fmt_double(fit.exponent, 3)
+                     : std::string("n/a");
   };
   t1.add_row({"[5] modk*", "n not multiple of k", "Theta(n^3)",
               exp_of(modk_row),

@@ -45,6 +45,15 @@ int main() {
   }
   t.print(std::cout);
   const auto fit = analysis::fit_median_scaling(points);
+  if (!fit.valid) {
+    std::printf("\nfit INVALID: %d degenerate sweep point(s) (all-failure or "
+                "zero median), fewer than 2 usable — raise PPSIM_TRIALS or "
+                "the step budget\n", fit.skipped);
+    return 0;
+  }
+  if (fit.skipped > 0)
+    std::printf("\n(%d degenerate sweep point(s) excluded from the fit)\n",
+                fit.skipped);
   std::printf(
       "\nfitted: median steps ~ %.3g * n^%.2f (r2 = %.3f)\n"
       "expected shape: exponent slightly above 2 (n^2 times a log factor),\n"

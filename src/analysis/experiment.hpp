@@ -44,11 +44,12 @@ template <typename P, typename ConfigGen, typename Pred>
 [[nodiscard]] std::uint64_t convergence_trial(
     const typename P::Params& params, ConfigGen& gen, Pred& pred,
     std::uint64_t max_steps, std::uint64_t seed_base, std::uint64_t tag,
-    std::uint64_t t) {
+    std::uint64_t t, std::uint64_t check_every) {
   const std::uint64_t seed = core::derive_seed(seed_base, tag, t);
   core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
   core::Runner<P> runner(params, gen(cfg_rng), seed);
-  return runner.run_until(pred, max_steps).value_or(core::Runner<P>::npos);
+  return runner.run_until(pred, max_steps, check_every)
+      .value_or(core::Runner<P>::npos);
 }
 
 /// Fold per-trial hitting times (npos = failure) into ConvergenceStats.
@@ -58,39 +59,45 @@ template <typename P, typename ConfigGen, typename Pred>
 }  // namespace detail
 
 /// Run `trials` executions of protocol P from configurations produced by
-/// `gen(rng)` until `pred(agents, params)` holds (checked every ~n steps),
-/// collecting hitting times. Trials exceeding `max_steps` count as failures
-/// and are excluded from the summary.
+/// `gen(rng)` until `pred(agents, params)` holds, collecting hitting times.
+/// Trials exceeding `max_steps` count as failures and are excluded from the
+/// summary. `check_every` is the predicate check granularity in steps
+/// (0 = every ~n steps): reported hitting times are quantized *up* to the
+/// first check at or after the true hit, so a coarser granularity trades
+/// precision for throughput.
 template <typename P, typename ConfigGen, typename Pred>
 [[nodiscard]] ConvergenceStats measure_convergence(
     const typename P::Params& params, ConfigGen&& gen, Pred&& pred,
     int trials, std::uint64_t max_steps, std::uint64_t seed_base,
-    std::uint64_t tag) {
+    std::uint64_t tag, std::uint64_t check_every = 0) {
   // Negative counts degrade to zero trials (PPSIM_TRIALS is raw atoi).
   std::vector<std::uint64_t> hits(
       static_cast<std::size_t>(std::max(trials, 0)));
   for (std::size_t t = 0; t < hits.size(); ++t) {
     hits[t] = detail::convergence_trial<P>(params, gen, pred, max_steps,
                                            seed_base, tag,
-                                           static_cast<std::uint64_t>(t));
+                                           static_cast<std::uint64_t>(t),
+                                           check_every);
   }
   return detail::fold_trials(hits);
 }
 
 /// Trial-parallel driver: same seeding, same results, `threads` workers
-/// (0 = PPSIM_THREADS / hardware concurrency).
+/// (0 = PPSIM_THREADS / hardware concurrency). `check_every` as in
+/// measure_convergence.
 template <typename P, typename ConfigGen, typename Pred>
 [[nodiscard]] ConvergenceStats measure_convergence_parallel(
     const typename P::Params& params, ConfigGen&& gen, Pred&& pred,
     int trials, std::uint64_t max_steps, std::uint64_t seed_base,
-    std::uint64_t tag, int threads = 0) {
+    std::uint64_t tag, int threads = 0, std::uint64_t check_every = 0) {
   std::vector<std::uint64_t> hits(
       static_cast<std::size_t>(std::max(trials, 0)));
   core::ThreadPool pool(threads);
   pool.for_index(hits.size(), [&](std::size_t t) {
     hits[t] = detail::convergence_trial<P>(params, gen, pred, max_steps,
                                            seed_base, tag,
-                                           static_cast<std::uint64_t>(t));
+                                           static_cast<std::uint64_t>(t),
+                                           check_every);
   });
   return detail::fold_trials(hits);
 }
@@ -118,7 +125,7 @@ template <typename P, typename MakeParams, typename ConfigGen, typename Pred>
 [[nodiscard]] std::vector<ScalingPoint> measure_scaling_sweep(
     const std::vector<int>& ns, MakeParams&& mk, ConfigGen&& gen, Pred&& pred,
     int trials, std::uint64_t seed_base, std::uint64_t tag_base,
-    int threads = 0) {
+    int threads = 0, std::uint64_t check_every = 0) {
   std::vector<ScalingPoint> points;
   points.reserve(ns.size());
   for (int n : ns) {
@@ -129,19 +136,26 @@ template <typename P, typename MakeParams, typename ConfigGen, typename Pred>
         params,
         [&](core::Xoshiro256pp& rng) { return gen(params, rng); }, pred,
         trials, sweep_budget(params.n), seed_base,
-        (tag_base << 32) | static_cast<std::uint64_t>(params.n), threads);
+        (tag_base << 32) | static_cast<std::uint64_t>(params.n), threads,
+        check_every);
     points.push_back(std::move(pt));
   }
   return points;
 }
 
-/// Fits median hitting time ~ c * n^e over the sweep (failures excluded).
+/// Fits median hitting time ~ c * n^e over the sweep. All-failure points
+/// and zero medians cannot be fit on log-log axes; they are skipped and
+/// counted in the returned PowerFit::skipped, and the fit comes back with
+/// valid == false (NaN values) when fewer than two usable points remain.
 [[nodiscard]] core::PowerFit fit_median_scaling(
     const std::vector<ScalingPoint>& points);
 
 /// median / (n^2 * log2 n) — the paper's Theorem-3.1 normalization.
+/// All-failure points (stats.raw empty) yield NaN, never a misleading 0;
+/// check point.stats.failures for the failure count.
 [[nodiscard]] double normalized_n2logn(const ScalingPoint& point);
-/// median / n^2 and median / n^3 (the neighboring normalizations).
+/// median / n^2 and median / n^3 (the neighboring normalizations); same
+/// NaN-on-all-failure contract.
 [[nodiscard]] double normalized_n2(const ScalingPoint& point);
 [[nodiscard]] double normalized_n3(const ScalingPoint& point);
 

@@ -1,0 +1,28 @@
+#include "analysis/scenario.hpp"
+
+namespace ppsim::analysis {
+namespace detail {
+
+RecoveryStats fold_recovery(const std::vector<RecoveryTrial>& trials) {
+  RecoveryStats out;
+  out.trials = static_cast<int>(trials.size());
+  std::vector<std::uint64_t> stab;
+  for (const RecoveryTrial& t : trials) {
+    if (!t.stabilized) {
+      ++out.stabilization_failures;
+      continue;
+    }
+    stab.push_back(t.stabilize_steps);
+    if (!t.healed) {
+      ++out.recovery_failures;
+      continue;
+    }
+    out.raw.push_back(t.recovery_steps);
+  }
+  out.recovery = core::summarize_u64(out.raw);
+  out.stabilization = core::summarize_u64(stab);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace ppsim::analysis

@@ -1,0 +1,233 @@
+// Scenario campaign engine: declarative recovery-time measurement under
+// scheduled fault injection — the self-stabilization claim (Def. 2.1)
+// exercised the way the SS-LE literature evaluates it (recovery after k
+// transient faults), rather than only convergence from initial
+// configurations.
+//
+// A ScenarioSpec<P> is the cross product the campaign driver executes:
+//
+//   initial-configuration family x fault schedule x recovery predicate
+//                                x trial plan
+//
+// Per trial (seeded derive_seed(seed_base, tag, t), same scheme as
+// analysis/experiment.hpp):
+//
+//   1. build a Runner from spec.initial(params, cfg_rng)      [cfg stream]
+//   2. run_until(spec.recovered) — the stabilization phase; a timeout here
+//      is a *stabilization* failure and the trial ends
+//   3. for each FaultEvent, advance the scheduler to exactly
+//      `epoch + at_step` interactions (epoch = the stabilization hit) and
+//      call spec.inject(runner, faults, fault_rng)            [fault stream]
+//   4. run_until(spec.recovered) again — the recovery phase; the recovery
+//      time is the hitting step minus the step of the last injection
+//
+// Determinism: the configuration stream (seed ^ 0xC0FFEE) and the fault
+// stream (seed ^ 0xFA5EED) are decorrelated per trial and independent of the
+// scheduler stream, trials are fanned over core::ThreadPool by *index* only,
+// and injections happen at exact step offsets — so campaign results are
+// bit-identical for every thread count (tests/analysis/scenario_test.cpp).
+//
+// Quantization: both run_until phases check the predicate every
+// `plan.check_every` steps (0 = every ~n), so stabilization and recovery
+// hitting times are quantized up to that granularity; fault injections
+// themselves land at exact offsets.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/runner.hpp"
+#include "core/statistics.hpp"
+
+namespace ppsim::analysis {
+
+/// One scheduled fault burst: corrupt `faults` agents once the scheduler
+/// reaches `at_step` interactions past the stabilization point.
+struct FaultEvent {
+  std::uint64_t at_step = 0;
+  int faults = 0;
+};
+
+/// One burst of `faults` corruptions immediately after stabilization — the
+/// classic "corrupt a converged system" regime.
+[[nodiscard]] inline std::vector<FaultEvent> burst_schedule(int faults) {
+  return {FaultEvent{0, faults}};
+}
+
+/// `faults` single corruptions spaced `gap` steps apart (a fault storm the
+/// protocol may be mid-recovery through).
+[[nodiscard]] inline std::vector<FaultEvent> storm_schedule(
+    int faults, std::uint64_t gap) {
+  std::vector<FaultEvent> s;
+  s.reserve(static_cast<std::size_t>(std::max(faults, 0)));
+  for (int i = 0; i < faults; ++i)
+    s.push_back(FaultEvent{gap * static_cast<std::uint64_t>(i), 1});
+  return s;
+}
+
+[[nodiscard]] inline int total_faults(std::span<const FaultEvent> schedule) {
+  int f = 0;
+  for (const FaultEvent& ev : schedule) f += ev.faults;
+  return f;
+}
+
+/// Trial plan shared by every trial of a scenario. `max_steps` budgets the
+/// stabilization phase and the recovery phase separately.
+struct TrialPlan {
+  int trials = 8;
+  std::uint64_t max_steps = 100'000'000;
+  std::uint64_t seed_base = 1;
+  std::uint64_t tag = 0;
+  std::uint64_t check_every = 0;  ///< predicate granularity; 0 = every ~n
+  int threads = 0;                ///< ThreadPool size; 0 = default
+};
+
+/// Declarative recovery scenario for protocol P. `initial` draws the
+/// initial-configuration family, `inject` corrupts a running system (via
+/// Runner::set_agent so the census stays incremental), `recovered` is the
+/// stabilization/recovery predicate (for the study protocols: membership in
+/// the safe set). analysis/adversary.hpp builds the standard instances.
+template <typename P>
+struct ScenarioSpec {
+  using Params = typename P::Params;
+  using State = typename P::State;
+
+  std::string name;
+  std::function<std::vector<State>(const Params&, core::Xoshiro256pp&)>
+      initial;
+  /// Executed in at_step order (stably sorted per trial; same-step events
+  /// keep their declared order).
+  std::vector<FaultEvent> schedule;
+  std::function<void(core::Runner<P>&, int, core::Xoshiro256pp&)> inject;
+  std::function<bool(std::span<const State>, const Params&)> recovered;
+  TrialPlan plan;
+};
+
+/// Outcome of one trial.
+struct RecoveryTrial {
+  bool stabilized = false;      ///< reached `recovered` before any injection
+  bool healed = false;          ///< reached `recovered` after the last one
+  std::uint64_t stabilize_steps = 0;  ///< steps to first stabilization
+  std::uint64_t recovery_steps = 0;   ///< last injection -> re-stabilization
+};
+
+/// Folded campaign statistics. `raw` holds the recovery times of healed
+/// trials in trial order (failures excluded), mirroring ConvergenceStats.
+struct RecoveryStats {
+  int trials = 0;
+  int stabilization_failures = 0;  ///< never reached `recovered` pre-fault
+  int recovery_failures = 0;       ///< stabilized but never healed in budget
+  core::Summary recovery;
+  core::Summary stabilization;  ///< over trials that stabilized
+  std::vector<std::uint64_t> raw;
+};
+
+namespace detail {
+
+/// One scenario trial; shared by any future serial driver so per-trial
+/// computation cannot drift. See the header comment for the phase diagram.
+template <typename P>
+[[nodiscard]] RecoveryTrial recovery_trial(const typename P::Params& params,
+                                           const ScenarioSpec<P>& spec,
+                                           std::uint64_t t) {
+  const TrialPlan& plan = spec.plan;
+  const std::uint64_t seed = core::derive_seed(plan.seed_base, plan.tag, t);
+  core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
+  core::Xoshiro256pp fault_rng(seed ^ 0xFA5EED);
+  core::Runner<P> runner(params, spec.initial(params, cfg_rng), seed);
+
+  RecoveryTrial out;
+  const auto stab =
+      runner.run_until(spec.recovered, plan.max_steps, plan.check_every);
+  if (!stab) return out;
+  out.stabilized = true;
+  out.stabilize_steps = *stab;
+
+  const std::uint64_t epoch = runner.steps();
+  std::uint64_t last_injection = epoch;
+  std::vector<FaultEvent> schedule = spec.schedule;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_step < b.at_step;
+                   });
+  for (const FaultEvent& ev : schedule) {
+    const std::uint64_t target = epoch + ev.at_step;
+    if (target > runner.steps()) runner.run(target - runner.steps());
+    spec.inject(runner, ev.faults, fault_rng);
+    last_injection = runner.steps();
+  }
+
+  const auto rec =
+      runner.run_until(spec.recovered, plan.max_steps, plan.check_every);
+  if (!rec) return out;
+  out.healed = true;
+  out.recovery_steps = *rec - last_injection;
+  return out;
+}
+
+[[nodiscard]] RecoveryStats fold_recovery(
+    const std::vector<RecoveryTrial>& trials);
+
+}  // namespace detail
+
+/// Execute one scenario: `plan.trials` trials fanned over a ThreadPool,
+/// bit-identical for any thread count (indices only; see header comment).
+template <typename P>
+[[nodiscard]] RecoveryStats measure_recovery(const typename P::Params& params,
+                                             const ScenarioSpec<P>& spec) {
+  std::vector<RecoveryTrial> trials(
+      static_cast<std::size_t>(std::max(spec.plan.trials, 0)));
+  core::ThreadPool pool(spec.plan.threads);
+  pool.for_index(trials.size(), [&](std::size_t t) {
+    trials[t] =
+        detail::recovery_trial<P>(params, spec, static_cast<std::uint64_t>(t));
+  });
+  return detail::fold_recovery(trials);
+}
+
+/// One executed campaign cell.
+struct CampaignResult {
+  std::string scenario;
+  int n = 0;
+  int faults = 0;  ///< total faults across the schedule
+  RecoveryStats stats;
+};
+
+/// Execute a whole campaign (a list of params x spec cells) in order.
+/// Give each cell a distinct plan.tag — campaign_tag below is collision-free
+/// for n < 2^20 and faults < 2^12 — so cells stay decorrelated and
+/// reproducible independent of campaign order.
+template <typename P>
+[[nodiscard]] std::vector<CampaignResult> run_campaign(
+    std::span<const std::pair<typename P::Params, ScenarioSpec<P>>> cells) {
+  std::vector<CampaignResult> out;
+  out.reserve(cells.size());
+  for (const auto& [params, spec] : cells) {
+    CampaignResult r;
+    r.scenario = spec.name;
+    r.n = params.n;
+    r.faults = total_faults(spec.schedule);
+    r.stats = measure_recovery<P>(params, spec);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Per-cell experiment tag: tag_base | n | faults, collision-free for
+/// n < 2^20, faults < 2^12.
+[[nodiscard]] constexpr std::uint64_t campaign_tag(std::uint64_t tag_base,
+                                                   int n,
+                                                   int faults) noexcept {
+  return (tag_base << 32) | (static_cast<std::uint64_t>(n) << 12) |
+         static_cast<std::uint64_t>(faults);
+}
+
+}  // namespace ppsim::analysis

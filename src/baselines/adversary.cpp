@@ -53,15 +53,33 @@ bool y28_is_safe(std::span<const Y28State> c, const Y28Params& p) {
   return true;
 }
 
+Y28State y28_random_state(const Y28Params& p, core::Xoshiro256pp& rng) {
+  Y28State s;
+  s.leader = static_cast<std::uint8_t>(rng.bounded(2));
+  s.dist = static_cast<std::uint16_t>(rng.bounded(p.cap));
+  s.bullet = static_cast<std::uint8_t>(rng.bounded(3));
+  s.shield = static_cast<std::uint8_t>(rng.bounded(2));
+  s.signal_b = static_cast<std::uint8_t>(rng.bounded(2));
+  return s;
+}
+
 std::vector<Y28State> y28_random_config(const Y28Params& p,
                                         core::Xoshiro256pp& rng) {
   std::vector<Y28State> c(static_cast<std::size_t>(p.n));
-  for (Y28State& s : c) {
-    s.leader = static_cast<std::uint8_t>(rng.bounded(2));
-    s.dist = static_cast<std::uint16_t>(rng.bounded(p.cap));
-    s.bullet = static_cast<std::uint8_t>(rng.bounded(3));
-    s.shield = static_cast<std::uint8_t>(rng.bounded(2));
-    s.signal_b = static_cast<std::uint8_t>(rng.bounded(2));
+  for (Y28State& s : c) s = y28_random_state(p, rng);
+  return c;
+}
+
+std::vector<Y28State> y28_safe_config(const Y28Params& p, int leader_pos) {
+  std::vector<Y28State> c(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    Y28State& s =
+        c[static_cast<std::size_t>(core::ring_add(leader_pos, i, p.n))];
+    s.dist = static_cast<std::uint16_t>(i);
+    if (i == 0) {
+      s.leader = 1;
+      s.shield = 1;
+    }
   }
   return c;
 }
@@ -85,15 +103,27 @@ bool fj_is_safe(std::span<const FjState> c, const FjParams&) {
   return true;
 }
 
+FjState fj_random_state(const FjParams&, core::Xoshiro256pp& rng) {
+  FjState s;
+  s.leader = static_cast<std::uint8_t>(rng.bounded(2));
+  s.bullet = static_cast<std::uint8_t>(rng.bounded(3));
+  s.shield = static_cast<std::uint8_t>(rng.bounded(2));
+  s.armed = static_cast<std::uint8_t>(rng.bounded(2)) & s.leader;
+  return s;
+}
+
 std::vector<FjState> fj_random_config(const FjParams& p,
                                       core::Xoshiro256pp& rng) {
   std::vector<FjState> c(static_cast<std::size_t>(p.n));
-  for (FjState& s : c) {
-    s.leader = static_cast<std::uint8_t>(rng.bounded(2));
-    s.bullet = static_cast<std::uint8_t>(rng.bounded(3));
-    s.shield = static_cast<std::uint8_t>(rng.bounded(2));
-    s.armed = static_cast<std::uint8_t>(rng.bounded(2)) & s.leader;
-  }
+  for (FjState& s : c) s = fj_random_state(p, rng);
+  return c;
+}
+
+std::vector<FjState> fj_safe_config(const FjParams& p, int leader_pos) {
+  std::vector<FjState> c(static_cast<std::size_t>(p.n));
+  FjState& l = c[static_cast<std::size_t>(leader_pos)];
+  l.leader = 1;
+  l.shield = 1;
   return c;
 }
 
@@ -113,15 +143,33 @@ bool modk_is_safe(std::span<const ModkState> c, const ModkParams& p) {
   return true;
 }
 
+ModkState modk_random_state(const ModkParams& p, core::Xoshiro256pp& rng) {
+  ModkState s;
+  s.leader = static_cast<std::uint8_t>(rng.bounded(2));
+  s.lab = static_cast<std::uint8_t>(rng.bounded(p.k));
+  s.bullet = static_cast<std::uint8_t>(rng.bounded(3));
+  s.shield = static_cast<std::uint8_t>(rng.bounded(2));
+  s.signal_b = static_cast<std::uint8_t>(rng.bounded(2));
+  return s;
+}
+
 std::vector<ModkState> modk_random_config(const ModkParams& p,
                                           core::Xoshiro256pp& rng) {
   std::vector<ModkState> c(static_cast<std::size_t>(p.n));
-  for (ModkState& s : c) {
-    s.leader = static_cast<std::uint8_t>(rng.bounded(2));
-    s.lab = static_cast<std::uint8_t>(rng.bounded(p.k));
-    s.bullet = static_cast<std::uint8_t>(rng.bounded(3));
-    s.shield = static_cast<std::uint8_t>(rng.bounded(2));
-    s.signal_b = static_cast<std::uint8_t>(rng.bounded(2));
+  for (ModkState& s : c) s = modk_random_state(p, rng);
+  return c;
+}
+
+std::vector<ModkState> modk_safe_config(const ModkParams& p, int leader_pos) {
+  std::vector<ModkState> c(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    ModkState& s =
+        c[static_cast<std::size_t>(core::ring_add(leader_pos, i, p.n))];
+    s.lab = static_cast<std::uint8_t>(i % p.k);
+    if (i == 0) {
+      s.leader = 1;
+      s.shield = 1;
+    }
   }
   return c;
 }

@@ -110,7 +110,17 @@ struct FischerJiang {
 /// is shielded).
 [[nodiscard]] bool fj_is_safe(std::span<const FjState> c, const FjParams& p);
 
+/// One uniformly random agent state over the declared O(1) domain (armed
+/// only ever set on leaders, as the protocol maintains).
+[[nodiscard]] FjState fj_random_state(const FjParams& p,
+                                      core::Xoshiro256pp& rng);
+
 [[nodiscard]] std::vector<FjState> fj_random_config(const FjParams& p,
                                                     core::Xoshiro256pp& rng);
+
+/// Converged reference configuration: the unique, shielded leader at
+/// `leader_pos`, everything else zero. Satisfies fj_is_safe.
+[[nodiscard]] std::vector<FjState> fj_safe_config(const FjParams& p,
+                                                  int leader_pos = 0);
 
 }  // namespace ppsim::baselines

@@ -148,7 +148,17 @@ struct ModkModel {
 [[nodiscard]] bool modk_is_safe(std::span<const ModkState> c,
                                 const ModkParams& p);
 
+/// One uniformly random agent state over the declared O(1) domain.
+[[nodiscard]] ModkState modk_random_state(const ModkParams& p,
+                                          core::Xoshiro256pp& rng);
+
 [[nodiscard]] std::vector<ModkState> modk_random_config(
     const ModkParams& p, core::Xoshiro256pp& rng);
+
+/// Converged reference configuration: the unique, shielded leader at
+/// `leader_pos` with the consistent label ramp lab = dist mod k around it.
+/// Satisfies modk_is_safe.
+[[nodiscard]] std::vector<ModkState> modk_safe_config(const ModkParams& p,
+                                                      int leader_pos = 0);
 
 }  // namespace ppsim::baselines

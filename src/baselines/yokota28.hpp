@@ -78,9 +78,18 @@ struct Yokota28 {
 [[nodiscard]] bool y28_is_safe(std::span<const Y28State> c,
                                const Y28Params& p);
 
+/// One uniformly random agent state over the declared state space.
+[[nodiscard]] Y28State y28_random_state(const Y28Params& p,
+                                        core::Xoshiro256pp& rng);
+
 /// Uniformly random configuration over the declared state space.
 [[nodiscard]] std::vector<Y28State> y28_random_config(const Y28Params& p,
                                                       core::Xoshiro256pp& rng);
+
+/// Converged reference configuration: the unique, shielded leader at
+/// `leader_pos` with exact distances relative to it. Satisfies y28_is_safe.
+[[nodiscard]] std::vector<Y28State> y28_safe_config(const Y28Params& p,
+                                                    int leader_pos = 0);
 
 /// Leaderless configuration with a consistent distance ramp (the slowest
 /// detection instance: the ramp must grow to N before anyone promotes).

@@ -123,6 +123,10 @@ class Runner {
   /// protocol has a leader output).
   [[nodiscard]] int leader_count() const noexcept { return leader_count_; }
 
+  /// Token census (maintained incrementally; only meaningful when the
+  /// protocol has a `has_token` output).
+  [[nodiscard]] int token_count() const noexcept { return token_count_; }
+
   /// Step index of the most recent change to the *set* of leaders, or 0.
   [[nodiscard]] std::uint64_t last_leader_change() const noexcept {
     return last_leader_change_;
@@ -136,21 +140,32 @@ class Runner {
   /// Counts as a change of the leader set at the current step when the
   /// injected state flips the agent's leader output, so fault-injection
   /// harnesses reading `last_leader_change()` see the injection.
+  ///
+  /// The census is updated by the delta of the touched agent's predicates
+  /// (O(1), no full recount), so fault storms cost O(faults) rather than
+  /// O(faults * n). An injection into an already-leaderless population does
+  /// not reset the Omega? leaderless clock to "now" — the oracle's delay
+  /// counts from the original onset of leaderlessness — and injecting the
+  /// last leader away starts the clock at the current step, exactly as a
+  /// transition would.
   void set_agent(int i, const State& s) {
-    bool flipped = false;
+    State& slot = agents_.at(i);
     if constexpr (HasLeaderOutput<P>) {
-      flipped =
-          P::is_leader(agents_.at(i), params_) != P::is_leader(s, params_);
+      const bool was = P::is_leader(slot, params_);
+      const bool now = P::is_leader(s, params_);
+      leader_count_ += static_cast<int>(now) - static_cast<int>(was);
+      if (was != now) last_leader_change_ = steps_;
+      if (leader_count_ > 0) {
+        leaderless_since_ = npos;
+      } else if (leaderless_since_ == npos) {
+        leaderless_since_ = steps_;
+      }
     }
-    const bool was_leaderless = leader_count_ == 0;
-    const std::uint64_t since = leaderless_since_;
-    agents_.at(i) = s;
-    recount_leaders();
-    if (flipped) last_leader_change_ = steps_;
-    // An injection into an already-leaderless population must not reset the
-    // Omega? leaderless clock to "now" — the oracle's delay counts from the
-    // original onset of leaderlessness.
-    if (was_leaderless && leader_count_ == 0) leaderless_since_ = since;
+    if constexpr (HasTokenCensus<P>) {
+      token_count_ += (P::has_token(s, params_) ? 1 : 0) -
+                      (P::has_token(slot, params_) ? 1 : 0);
+    }
+    slot = s;
   }
 
   /// Execute a single uniformly random interaction.

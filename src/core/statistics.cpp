@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 
 namespace ppsim::core {
@@ -86,17 +87,30 @@ LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
 
 PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
   assert(x.size() == y.size());
-  std::vector<double> lx(x.size()), ly(y.size());
+  PowerFit p;
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
-    assert(x[i] > 0 && y[i] > 0);
-    lx[i] = std::log(x[i]);
-    ly[i] = std::log(y[i]);
+    // `!(v > 0)` also rejects NaN; isfinite rejects +inf coordinates.
+    if (!(x[i] > 0.0) || !(y[i] > 0.0) || !std::isfinite(x[i]) ||
+        !std::isfinite(y[i])) {
+      ++p.skipped;
+      continue;
+    }
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  if (lx.size() < 2) {
+    p.exponent = p.constant = p.r2 =
+        std::numeric_limits<double>::quiet_NaN();
+    return p;
   }
   const LinearFit lin = fit_linear(lx, ly);
-  PowerFit p;
   p.exponent = lin.slope;
   p.constant = std::exp(lin.intercept);
   p.r2 = lin.r2;
+  p.valid = true;
   return p;
 }
 

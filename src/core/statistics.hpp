@@ -42,11 +42,17 @@ struct LinearFit {
                                    std::span<const double> y);
 
 /// Fit y ~ c * x^e on log-log axes. Returns exponent e, constant c, and r2.
-/// All inputs must be > 0.
+/// Points with a non-positive or non-finite coordinate cannot be placed on
+/// log-log axes; they are skipped (counted in `skipped`) instead of silently
+/// feeding NaN/-inf into the regression. When fewer than two usable points
+/// remain the fit is returned clearly invalid: `valid == false` and
+/// exponent/constant/r2 all NaN.
 struct PowerFit {
   double exponent = 0.0;
   double constant = 0.0;
   double r2 = 0.0;
+  int skipped = 0;     ///< input points excluded from the regression
+  bool valid = false;  ///< false = fewer than 2 usable points, values are NaN
 };
 
 [[nodiscard]] PowerFit fit_power(std::span<const double> x,

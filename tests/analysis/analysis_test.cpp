@@ -97,6 +97,22 @@ TEST(Experiment, ScalingSweepIsDeterministic) {
   }
 }
 
+TEST(Experiment, CheckEveryQuantizesHittingTimes) {
+  // check_every is the predicate granularity: reported hitting times land on
+  // multiples of it, for the serial and the parallel driver identically.
+  const auto p = pl::PlParams::make(8, 2);
+  auto gen = [&](core::Xoshiro256pp&) { return pl::make_fresh_config(p); };
+  const std::uint64_t check_every = 1'000;
+  const auto serial = measure_convergence<pl::PlProtocol>(
+      p, gen, pl::SafePredicate{}, 6, 50'000'000ULL, 4, 4, check_every);
+  ASSERT_EQ(serial.raw.size(), 6u);
+  for (std::uint64_t h : serial.raw) EXPECT_EQ(h % check_every, 0u);
+  const auto par = measure_convergence_parallel<pl::PlProtocol>(
+      p, gen, pl::SafePredicate{}, 6, 50'000'000ULL, 4, 4, /*threads=*/3,
+      check_every);
+  EXPECT_EQ(par.raw, serial.raw);
+}
+
 TEST(Scaling, FitRecoversQuadratic) {
   std::vector<ScalingPoint> pts;
   for (int n : {8, 16, 32, 64}) {
@@ -119,6 +135,53 @@ TEST(Scaling, Normalizations) {
   EXPECT_DOUBLE_EQ(normalized_n2(pt), 4.0);
   EXPECT_DOUBLE_EQ(normalized_n3(pt), 0.25);
   EXPECT_DOUBLE_EQ(normalized_n2logn(pt), 1.0);  // lg 16 = 4
+}
+
+TEST(Scaling, NormalizationsAreNaNWhenAllTrialsFailed) {
+  // An all-failure point has no hitting times; its Summary median of 0 is an
+  // artifact, and normalizing it used to print a plausible-looking 0 row.
+  ScalingPoint pt;
+  pt.n = 16;
+  pt.stats.trials = 4;
+  pt.stats.failures = 4;  // raw stays empty
+  pt.stats.steps = core::summarize_u64(pt.stats.raw);
+  EXPECT_TRUE(std::isnan(normalized_n2(pt)));
+  EXPECT_TRUE(std::isnan(normalized_n3(pt)));
+  EXPECT_TRUE(std::isnan(normalized_n2logn(pt)));
+}
+
+TEST(Scaling, FitSkipsAllFailureAndZeroMedianPoints) {
+  std::vector<ScalingPoint> pts;
+  for (int n : {8, 16, 32, 64}) {
+    ScalingPoint pt;
+    pt.n = n;
+    pt.stats.raw = {static_cast<std::uint64_t>(5.0 * n * n)};
+    pt.stats.steps = core::summarize_u64(pt.stats.raw);
+    pts.push_back(pt);
+  }
+  ScalingPoint all_failed;
+  all_failed.n = 128;
+  all_failed.stats.trials = 3;
+  all_failed.stats.failures = 3;
+  pts.push_back(all_failed);
+  ScalingPoint zero_median;  // pred held at step 0 for every trial
+  zero_median.n = 256;
+  zero_median.stats.raw = {0, 0, 0};
+  zero_median.stats.steps = core::summarize_u64(zero_median.stats.raw);
+  pts.push_back(zero_median);
+
+  const auto fit = fit_median_scaling(pts);
+  EXPECT_TRUE(fit.valid);
+  EXPECT_EQ(fit.skipped, 2);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-6);
+
+  // Only degenerate points left -> a clearly-marked invalid fit, not NaN
+  // propagating silently out of a Release build.
+  const std::vector<ScalingPoint> degenerate(pts.end() - 2, pts.end());
+  const auto bad = fit_median_scaling(degenerate);
+  EXPECT_FALSE(bad.valid);
+  EXPECT_EQ(bad.skipped, 2);
+  EXPECT_TRUE(std::isnan(bad.exponent));
 }
 
 TEST(StateCount, PlIsPolylog) {

@@ -200,6 +200,150 @@ TEST(BatchedRunner, Yokota28IdenticalOver100kSteps) {
       });
 }
 
+/// Mid-run fault-injection equivalence: drive mirrored runners (unbatched vs
+/// batched) through uneven chunks with identical `set_agent` storms at every
+/// sync point. Both paths must agree on the full trajectory, the incremental
+/// leader/token censuses, `last_leader_change`, and — via the transitions of
+/// oracle protocols, which read ctx.no_leader/no_token — the Omega? oracle
+/// reports. A fresh runner built from the current configuration additionally
+/// checks the incremental census against a ground-truth full recount.
+template <typename P, typename MakeState, typename Eq>
+void expect_equivalent_under_faults(Runner<P> a, std::uint64_t total_steps,
+                                    MakeState&& mk, Eq&& eq) {
+  Runner<P> b = a;  // identical snapshot: same RNG state, same agents
+  Xoshiro256pp fault_rng(0xFA17);
+  const std::uint64_t chunks[] = {1, 7, 503, 1024, 64, 333};
+  std::uint64_t done = 0;
+  std::size_t c = 0;
+  while (done < total_steps) {
+    const std::uint64_t k =
+        std::min(chunks[c++ % std::size(chunks)], total_steps - done);
+    a.run_unbatched(k);
+    b.run(k);
+    done += k;
+    // Identical fault storm into both runners (1-3 corrupted agents).
+    const int storm = 1 + static_cast<int>(fault_rng.bounded(3));
+    for (int f = 0; f < storm; ++f) {
+      const int idx =
+          static_cast<int>(fault_rng.bounded(static_cast<std::uint64_t>(a.n())));
+      const auto s = mk(fault_rng);
+      a.set_agent(idx, s);
+      b.set_agent(idx, s);
+    }
+    ASSERT_EQ(a.steps(), b.steps());
+    ASSERT_EQ(a.leader_count(), b.leader_count());
+    ASSERT_EQ(a.token_count(), b.token_count());
+    ASSERT_EQ(a.last_leader_change(), b.last_leader_change());
+    for (int i = 0; i < a.n(); ++i) {
+      ASSERT_TRUE(eq(a.agent(i), b.agent(i)))
+          << "agent " << i << " diverged at step " << a.steps();
+    }
+    // Incremental census (delta-maintained through set_agent) vs recount.
+    Runner<P> fresh(a.params(),
+                    std::vector<typename P::State>(a.agents().begin(),
+                                                   a.agents().end()),
+                    1);
+    ASSERT_EQ(fresh.leader_count(), a.leader_count());
+    ASSERT_EQ(fresh.token_count(), a.token_count());
+  }
+  // The post-fault histories must keep agreeing, oracle reports included.
+  a.run_unbatched(5'000);
+  b.run(5'000);
+  ASSERT_EQ(a.leader_count(), b.leader_count());
+  ASSERT_EQ(a.token_count(), b.token_count());
+  ASSERT_EQ(a.last_leader_change(), b.last_leader_change());
+  for (int i = 0; i < a.n(); ++i) ASSERT_TRUE(eq(a.agent(i), b.agent(i)));
+}
+
+TEST(BatchedRunnerFaults, OracleTokenCensusIdenticalUnderInjections) {
+  std::vector<OracleTokenProto::State> init(12);
+  expect_equivalent_under_faults(
+      Runner<OracleTokenProto>({12}, init, 21), 50'000,
+      [](Xoshiro256pp& rng) {
+        OracleTokenProto::State s;
+        s.leader = static_cast<std::uint8_t>(rng.bounded(2));
+        s.token = static_cast<std::uint8_t>(rng.bounded(2));
+        return s;
+      },
+      [](const OracleTokenProto::State& x, const OracleTokenProto::State& y) {
+        return x.leader == y.leader && x.token == y.token;
+      });
+}
+
+TEST(BatchedRunnerFaults, OracleDelayIdenticalUnderInjections) {
+  std::vector<OracleTokenProto::State> init(8);
+  Runner<OracleTokenProto> r({8}, init, 5);
+  r.set_oracle_delay(64);
+  expect_equivalent_under_faults(
+      std::move(r), 20'000,
+      [](Xoshiro256pp& rng) {
+        OracleTokenProto::State s;
+        s.leader = static_cast<std::uint8_t>(rng.bounded(2));
+        s.token = static_cast<std::uint8_t>(rng.bounded(2));
+        return s;
+      },
+      [](const OracleTokenProto::State& x, const OracleTokenProto::State& y) {
+        return x.leader == y.leader && x.token == y.token;
+      });
+}
+
+TEST(BatchedRunnerFaults, FischerJiangIdenticalUnderInjections) {
+  const auto p = baselines::FjParams::make(24);
+  core::Xoshiro256pp rng(3);
+  expect_equivalent_under_faults(
+      Runner<baselines::FischerJiang>(p, baselines::fj_random_config(p, rng),
+                                      14),
+      50'000,
+      [&](Xoshiro256pp& frng) { return baselines::fj_random_state(p, frng); },
+      [](const baselines::FjState& x, const baselines::FjState& y) {
+        return x == y;
+      });
+}
+
+TEST(BatchedRunnerFaults, PlProtocolIdenticalUnderInjections) {
+  const auto p = pl::PlParams::make(32, 4);
+  expect_equivalent_under_faults(
+      Runner<pl::PlProtocol>(p, pl::make_safe_config(p), 11), 50'000,
+      [&](Xoshiro256pp& frng) { return pl::random_state(p, frng); },
+      [](const pl::PlState& x, const pl::PlState& y) { return x == y; });
+}
+
+TEST(BatchedRunnerFaults, ModkIdenticalUnderInjections) {
+  const auto p = baselines::ModkParams::make(25, 2);
+  core::Xoshiro256pp rng(16);
+  expect_equivalent_under_faults(
+      Runner<baselines::Modk>(p, baselines::modk_random_config(p, rng), 17),
+      50'000,
+      [&](Xoshiro256pp& frng) {
+        return baselines::modk_random_state(p, frng);
+      },
+      [](const baselines::ModkState& x, const baselines::ModkState& y) {
+        return x == y;
+      });
+}
+
+TEST(BatchedRunnerFaults, InjectionDoesNotResetOracleLeaderlessClock) {
+  // A leaderless population since step 0 with oracle delay 10: the first
+  // interaction at steps >= 10 sees no_leader and promotes a leader, i.e.
+  // leader_count flips from 0 to 1 at step 11 exactly. A non-leader fault
+  // injected at step 5 must not reset the oracle's leaderless clock (the
+  // delay counts from the original onset of leaderlessness).
+  std::vector<OracleTokenProto::State> init(4);
+  Runner<OracleTokenProto> r({4}, init, 9);
+  r.set_oracle_delay(10);
+  r.run(5);
+  OracleTokenProto::State fault;
+  fault.token = 1;  // flips the token census but not the leader census
+  r.set_agent(0, fault);
+  ASSERT_EQ(r.leader_count(), 0);
+  ASSERT_EQ(r.token_count(), 1);
+  r.run(5);  // steps 6..10: oracle still reports presence until step 10
+  EXPECT_EQ(r.leader_count(), 0);
+  r.run(1);  // the interaction at steps_ == 10 promotes
+  EXPECT_EQ(r.leader_count(), 1);
+  EXPECT_EQ(r.last_leader_change(), 11u);
+}
+
 TEST(BatchedRunner, MixedPathsShareOneStream) {
   // step(), run(), run_unbatched() interleaved on one runner equal a pure
   // unbatched runner: all three consume the same RNG stream.

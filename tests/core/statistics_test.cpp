@@ -67,6 +67,46 @@ TEST(FitPower, RecoversNSquaredLogN) {
   EXPECT_LT(f.exponent, 2.5);
 }
 
+TEST(FitPower, MarksValidFits) {
+  const std::vector<double> x{2, 4, 8};
+  const std::vector<double> y{4, 16, 64};
+  const PowerFit f = fit_power(x, y);
+  EXPECT_TRUE(f.valid);
+  EXPECT_EQ(f.skipped, 0);
+}
+
+TEST(FitPower, SkipsDegeneratePointsInsteadOfNaN) {
+  // Zero/negative/non-finite coordinates have no log-log image. In Release
+  // builds the old assert vanished and such points silently poisoned the
+  // regression with -inf; now they are skipped and counted.
+  const std::vector<double> x{8, 16, 0, 32, 64, 128};
+  const std::vector<double> y{3.5 * 64,   3.5 * 256, 100, 0,
+                              3.5 * 4096, std::nan("")};
+  const PowerFit f = fit_power(x, y);
+  EXPECT_TRUE(f.valid);
+  EXPECT_EQ(f.skipped, 3);
+  EXPECT_NEAR(f.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(f.constant, 3.5, 1e-6);
+}
+
+TEST(FitPower, InvalidWhenFewerThanTwoUsablePoints) {
+  const std::vector<double> x{8, 16, 32};
+  const std::vector<double> y{0, 0, 100};  // only one positive median left
+  const PowerFit f = fit_power(x, y);
+  EXPECT_FALSE(f.valid);
+  EXPECT_EQ(f.skipped, 2);
+  EXPECT_TRUE(std::isnan(f.exponent));
+  EXPECT_TRUE(std::isnan(f.constant));
+  EXPECT_TRUE(std::isnan(f.r2));
+}
+
+TEST(FitPower, InvalidOnEmptyInput) {
+  const PowerFit f = fit_power({}, {});
+  EXPECT_FALSE(f.valid);
+  EXPECT_EQ(f.skipped, 0);
+  EXPECT_TRUE(std::isnan(f.exponent));
+}
+
 TEST(ChiSquare, UniformCountsScoreLow) {
   const std::vector<std::uint64_t> counts{100, 101, 99, 100};
   EXPECT_LT(chi_square_uniform(counts), 1.0);
