@@ -270,14 +270,23 @@ void corrupt_config(std::vector<typename P::State>& config,
         Adversary<P>::random_state(params, rng);
 }
 
-/// Corrupt `faults` distinct agents of a *running* system through
-/// Runner::set_agent (census stays incremental; the standard `inject` of a
-/// ScenarioSpec).
+/// Corrupt `faults` distinct agents of a *running* ring through
+/// RingView::set_agent (census stays incremental; the standard `inject` of a
+/// ScenarioSpec). The view form serves a standalone Runner and one ring of
+/// an EnsembleRunner identically.
+template <typename P>
+void inject_random_faults(core::RingView<P> ring, int faults,
+                          core::Xoshiro256pp& rng) {
+  for (int idx : detail::distinct_targets(ring.n(), faults, rng))
+    ring.set_agent(idx, Adversary<P>::random_state(ring.params(), rng));
+}
+
+/// Convenience overload for a standalone Runner (template deduction cannot
+/// see through the RingView conversion).
 template <typename P>
 void inject_random_faults(core::Runner<P>& runner, int faults,
                           core::Xoshiro256pp& rng) {
-  for (int idx : detail::distinct_targets(runner.n(), faults, rng))
-    runner.set_agent(idx, Adversary<P>::random_state(runner.params(), rng));
+  inject_random_faults(core::RingView<P>(runner), faults, rng);
 }
 
 /// The standard recovery scenario for protocol P: stabilize from a converged
@@ -293,7 +302,7 @@ template <typename P>
     return Adversary<P>::safe_config(p, rng);
   };
   spec.schedule = std::move(schedule);
-  spec.inject = [](core::Runner<P>& r, int faults, core::Xoshiro256pp& rng) {
+  spec.inject = [](core::RingView<P> r, int faults, core::Xoshiro256pp& rng) {
     inject_random_faults(r, faults, rng);
   };
   spec.recovered = [](std::span<const typename P::State> c,

@@ -23,9 +23,19 @@
 //
 // Determinism: the configuration stream (seed ^ 0xC0FFEE) and the fault
 // stream (seed ^ 0xFA5EED) are decorrelated per trial and independent of the
-// scheduler stream, trials are fanned over core::ThreadPool by *index* only,
+// scheduler stream, work is fanned over core::ThreadPool by *index* only,
 // and injections happen at exact step offsets — so campaign results are
 // bit-identical for every thread count (tests/analysis/scenario_test.cpp).
+//
+// Execution: measure_recovery shards the trial range into contiguous blocks,
+// each run as one core::EnsembleRunner (struct-of-arrays state, blocked
+// per-ring hot loop — the campaign-throughput win recorded in
+// BENCH_ensemble.json). Ring t owns
+// exactly the three RNG streams trial t's standalone Runner would own and
+// rings never interact, so RecoveryStats is byte-identical to the historical
+// per-trial path (kept as detail::recovery_trial, pinned by
+// tests/core/ensemble_test.cpp). Injectors receive a core::RingView — one
+// ring of either engine — rather than a whole Runner.
 //
 // Quantization: both run_until phases check the predicate every
 // `plan.check_every` steps (0 = every ~n), so stabilization and recovery
@@ -42,6 +52,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/experiment.hpp"
+#include "core/ensemble.hpp"
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/runner.hpp"
@@ -91,10 +103,12 @@ struct TrialPlan {
 };
 
 /// Declarative recovery scenario for protocol P. `initial` draws the
-/// initial-configuration family, `inject` corrupts a running system (via
-/// Runner::set_agent so the census stays incremental), `recovered` is the
-/// stabilization/recovery predicate (for the study protocols: membership in
-/// the safe set). analysis/adversary.hpp builds the standard instances.
+/// initial-configuration family, `inject` corrupts a running system through
+/// a core::RingView (RingView::set_agent keeps the census incremental, and
+/// the view works for a standalone Runner and for one ring of an
+/// EnsembleRunner alike), `recovered` is the stabilization/recovery
+/// predicate (for the study protocols: membership in the safe set).
+/// analysis/adversary.hpp builds the standard instances.
 template <typename P>
 struct ScenarioSpec {
   using Params = typename P::Params;
@@ -106,7 +120,7 @@ struct ScenarioSpec {
   /// Executed in at_step order (stably sorted per trial; same-step events
   /// keep their declared order).
   std::vector<FaultEvent> schedule;
-  std::function<void(core::Runner<P>&, int, core::Xoshiro256pp&)> inject;
+  std::function<void(core::RingView<P>, int, core::Xoshiro256pp&)> inject;
   std::function<bool(std::span<const State>, const Params&)> recovered;
   TrialPlan plan;
 };
@@ -132,8 +146,23 @@ struct RecoveryStats {
 
 namespace detail {
 
-/// One scenario trial; shared by any future serial driver so per-trial
-/// computation cannot drift. See the header comment for the phase diagram.
+/// `spec.schedule` stably sorted by at_step (same-step events keep their
+/// declared order) — the execution order of every trial.
+template <typename P>
+[[nodiscard]] std::vector<FaultEvent> sorted_schedule(
+    const ScenarioSpec<P>& spec) {
+  std::vector<FaultEvent> schedule = spec.schedule;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_step < b.at_step;
+                   });
+  return schedule;
+}
+
+/// One scenario trial on a standalone Runner — the historical per-trial
+/// path, kept as the byte-identity reference for the ensemble-sharded
+/// driver (tests/core/ensemble_test.cpp compares the two trial for trial).
+/// See the header comment for the phase diagram.
 template <typename P>
 [[nodiscard]] RecoveryTrial recovery_trial(const typename P::Params& params,
                                            const ScenarioSpec<P>& spec,
@@ -153,15 +182,10 @@ template <typename P>
 
   const std::uint64_t epoch = runner.steps();
   std::uint64_t last_injection = epoch;
-  std::vector<FaultEvent> schedule = spec.schedule;
-  std::stable_sort(schedule.begin(), schedule.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) {
-                     return a.at_step < b.at_step;
-                   });
-  for (const FaultEvent& ev : schedule) {
+  for (const FaultEvent& ev : sorted_schedule(spec)) {
     const std::uint64_t target = epoch + ev.at_step;
     if (target > runner.steps()) runner.run(target - runner.steps());
-    spec.inject(runner, ev.faults, fault_rng);
+    spec.inject(core::RingView<P>(runner), ev.faults, fault_rng);
     last_injection = runner.steps();
   }
 
@@ -173,22 +197,92 @@ template <typename P>
   return out;
 }
 
+/// Run trials [first, first + count) of a scenario as one ensemble, writing
+/// RecoveryTrial i into out[first + i]. Phase structure per ring is exactly
+/// recovery_trial's: stabilize (run_until_each), inject at exact offsets
+/// (run_ring + RingView), recover (run_until_each over the stabilized
+/// subset, others frozen).
+template <typename P>
+void ensemble_recovery_shard(const typename P::Params& params,
+                             const ScenarioSpec<P>& spec, std::size_t first,
+                             std::size_t count,
+                             std::span<RecoveryTrial> out) {
+  constexpr std::uint64_t npos = core::EnsembleRunner<P>::npos;
+  const TrialPlan& plan = spec.plan;
+  core::EnsembleRunner<P> ensemble(params, static_cast<int>(count));
+  std::vector<core::Xoshiro256pp> fault_rngs;
+  fault_rngs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = core::derive_seed(
+        plan.seed_base, plan.tag, static_cast<std::uint64_t>(first + i));
+    core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
+    fault_rngs.emplace_back(seed ^ 0xFA5EED);
+    const auto initial = spec.initial(params, cfg_rng);
+    ensemble.add_ring(initial, seed);
+  }
+
+  const auto stab =
+      ensemble.run_until_each(spec.recovered, plan.max_steps,
+                              plan.check_every);
+  const auto schedule = sorted_schedule(spec);
+  std::vector<int> recovering;
+  std::vector<std::uint64_t> last_injection(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (stab[i] == npos) continue;  // stabilization failure; out stays default
+    RecoveryTrial& trial = out[first + i];
+    trial.stabilized = true;
+    trial.stabilize_steps = stab[i];
+    const int r = static_cast<int>(i);
+    const std::uint64_t epoch = ensemble.steps(r);
+    std::uint64_t last = epoch;
+    for (const FaultEvent& ev : schedule) {
+      const std::uint64_t target = epoch + ev.at_step;
+      if (target > ensemble.steps(r))
+        ensemble.run_ring(r, target - ensemble.steps(r));
+      spec.inject(core::RingView<P>(ensemble, r), ev.faults, fault_rngs[i]);
+      last = ensemble.steps(r);
+    }
+    last_injection[i] = last;
+    recovering.push_back(r);
+  }
+
+  std::vector<std::uint64_t> rec(count, npos);
+  ensemble.run_until_each(recovering, spec.recovered, plan.max_steps,
+                          plan.check_every, rec);
+  for (int r : recovering) {
+    const auto i = static_cast<std::size_t>(r);
+    if (rec[i] == npos) continue;  // recovery failure
+    RecoveryTrial& trial = out[first + i];
+    trial.healed = true;
+    trial.recovery_steps = rec[i] - last_injection[i];
+  }
+}
+
 [[nodiscard]] RecoveryStats fold_recovery(
     const std::vector<RecoveryTrial>& trials);
 
 }  // namespace detail
 
-/// Execute one scenario: `plan.trials` trials fanned over a ThreadPool,
-/// bit-identical for any thread count (indices only; see header comment).
+/// Execute one scenario: `plan.trials` trials sharded into contiguous
+/// ensembles fanned over a ThreadPool, bit-identical for any thread count
+/// and to the per-trial reference path (indices only; see header comment).
 template <typename P>
 [[nodiscard]] RecoveryStats measure_recovery(const typename P::Params& params,
                                              const ScenarioSpec<P>& spec) {
   std::vector<RecoveryTrial> trials(
       static_cast<std::size_t>(std::max(spec.plan.trials, 0)));
   core::ThreadPool pool(spec.plan.threads);
-  pool.for_index(trials.size(), [&](std::size_t t) {
-    trials[t] =
-        detail::recovery_trial<P>(params, spec, static_cast<std::uint64_t>(t));
+  // Same cache-capped, load-balanced sharding as the convergence drivers;
+  // output-invisible (trials are seeded by global index).
+  const std::size_t shard = analysis::detail::balanced_shard_width(
+      static_cast<std::size_t>(params.n) * sizeof(typename P::State),
+      trials.size(), static_cast<std::size_t>(pool.size()));
+  const std::size_t shards = (trials.size() + shard - 1) / shard;
+  pool.for_index(shards, [&](std::size_t s) {
+    const std::size_t first = s * shard;
+    detail::ensemble_recovery_shard<P>(params, spec, first,
+                                       std::min(shard, trials.size() - first),
+                                       trials);
   });
   return detail::fold_recovery(trials);
 }

@@ -106,18 +106,17 @@ struct Modk {
                                       const Params&) noexcept {
     return s.leader == 1;
   }
-};
 
-/// Model-checker adapter (pack/unpack the 48-state-per-agent space for k=2).
-struct ModkModel {
-  using State = ModkState;
-  using Params = ModkParams;
-  static constexpr bool directed = true;
-
+  /// Canonical enumeration of the O(1) per-agent state domain (24k states:
+  /// 2 leader x k lab x 3 bullet x 2 shield x 2 signal_b, 48 for the
+  /// checked k = 2). Shared by the model checker's adapter below and by
+  /// core::EnsembleRunner's packed-state mode, which precomputes the whole
+  /// pair-transition table from it — one definition, so the checker's and
+  /// the ensemble's view of the domain cannot drift.
   static std::size_t num_states(const Params& p) {
     return 2ULL * static_cast<std::size_t>(p.k) * 3 * 2 * 2;
   }
-  static std::size_t pack(const State& s, const Params& p, int /*agent*/) {
+  static std::size_t pack_state(const State& s, const Params& p) {
     std::size_t v = s.leader;
     v = v * static_cast<std::size_t>(p.k) + s.lab;
     v = v * 3 + s.bullet;
@@ -125,7 +124,7 @@ struct ModkModel {
     v = v * 2 + s.signal_b;
     return v;
   }
-  static State unpack(std::size_t v, const Params& p, int /*agent*/) {
+  static State unpack_state(std::size_t v, const Params& p) {
     State s;
     s.signal_b = static_cast<std::uint8_t>(v % 2);
     v /= 2;
@@ -137,6 +136,24 @@ struct ModkModel {
     v /= static_cast<std::size_t>(p.k);
     s.leader = static_cast<std::uint8_t>(v);
     return s;
+  }
+};
+
+/// Model-checker adapter (pack/unpack the 48-state-per-agent space for k=2);
+/// delegates to the protocol's canonical enumeration.
+struct ModkModel {
+  using State = ModkState;
+  using Params = ModkParams;
+  static constexpr bool directed = true;
+
+  static std::size_t num_states(const Params& p) {
+    return Modk::num_states(p);
+  }
+  static std::size_t pack(const State& s, const Params& p, int /*agent*/) {
+    return Modk::pack_state(s, p);
+  }
+  static State unpack(std::size_t v, const Params& p, int /*agent*/) {
+    return Modk::unpack_state(v, p);
   }
   static void apply(State& l, State& r, const Params& p) noexcept {
     Modk::apply(l, r, p);

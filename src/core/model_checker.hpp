@@ -26,15 +26,24 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/ring.hpp"
+
 namespace ppsim::core {
 
 struct CheckResult {
   bool ok = false;
+  /// The state space exceeds what the checker can represent (per_agent^n
+  /// overflows uint64, or the configuration count does not fit the 32-bit
+  /// Tarjan index arrays). When set, `ok` is false and *nothing was
+  /// verified* — the distinction matters: a capacity failure is "cannot
+  /// check", not "checked and found a counterexample".
+  bool capacity_exceeded = false;
   std::uint64_t num_configurations = 0;
   std::uint64_t num_bottom_sccs = 0;
   std::uint64_t num_bottom_configs = 0;
@@ -49,14 +58,47 @@ class ModelChecker {
   using State = typename M::State;
   using Params = typename M::Params;
 
+  /// Largest configuration count the checker accepts: ids and components are
+  /// packed into uint32 arrays with 0xFFFFFFFF reserved as the unset marker.
+  static constexpr std::uint64_t kMaxConfigurations = 0xFFFFFFFEull;
+
   explicit ModelChecker(Params params) : params_(std::move(params)) {
     per_agent_ = M::num_states(params_);
     total_ = 1;
-    for (int i = 0; i < params_.n; ++i) total_ *= per_agent_;
+    // per_agent^n with explicit overflow detection: a silent uint64 wrap
+    // would make the checker "verify" a garbage state space. The uint32
+    // Tarjan-index capacity is checked here too so check() can refuse
+    // before allocating anything.
+    for (int i = 0; i < params_.n && !capacity_exceeded_; ++i) {
+      if (per_agent_ != 0 &&
+          total_ > std::numeric_limits<std::uint64_t>::max() / per_agent_) {
+        capacity_exceeded_ = true;
+        capacity_reason_ =
+            "state space capacity exceeded: per_agent^n overflows uint64";
+        break;
+      }
+      total_ *= per_agent_;
+    }
+    if (!capacity_exceeded_ && total_ > kMaxConfigurations) {
+      capacity_exceeded_ = true;
+      capacity_reason_ =
+          "state space capacity exceeded: configuration count does not fit "
+          "the checker's 32-bit index arrays";
+    }
+    if (capacity_exceeded_) total_ = 0;  // never a plausible-looking wrap
   }
 
+  /// Configuration count, or 0 when the state space exceeds capacity (see
+  /// capacity_exceeded()).
   [[nodiscard]] std::uint64_t num_configurations() const noexcept {
     return total_;
+  }
+
+  /// True when per_agent^n cannot be represented / indexed; check() then
+  /// returns a CheckResult with capacity_exceeded set instead of verifying
+  /// a truncated space.
+  [[nodiscard]] bool capacity_exceeded() const noexcept {
+    return capacity_exceeded_;
   }
 
   [[nodiscard]] std::vector<State> decode(std::uint64_t id) const {
@@ -77,20 +119,13 @@ class ModelChecker {
     return id;
   }
 
-  /// Successor configuration under arc `a`.
+  /// Successor configuration under arc `a`. The initiator/responder mapping
+  /// is core::arc_endpoints — the same function the Runner's scheduler uses.
   [[nodiscard]] std::uint64_t successor(std::uint64_t id, int arc) const {
     std::vector<State> config = decode(id);
-    const int n = params_.n;
-    int ii, ri;
-    if (arc < n) {
-      ii = arc;
-      ri = arc + 1 == n ? 0 : arc + 1;
-    } else {
-      ri = arc - n;
-      ii = ri + 1 == n ? 0 : ri + 1;
-    }
-    M::apply(config[static_cast<std::size_t>(ii)],
-             config[static_cast<std::size_t>(ri)], params_);
+    const ArcEndpoints e = arc_endpoints(arc, params_.n);
+    M::apply(config[static_cast<std::size_t>(e.initiator)],
+             config[static_cast<std::size_t>(e.responder)], params_);
     return encode(config);
   }
 
@@ -100,6 +135,11 @@ class ModelChecker {
   template <typename Spec, typename Legal>
   [[nodiscard]] CheckResult check(Spec&& spec, Legal&& legal) const {
     CheckResult res;
+    if (capacity_exceeded_) {
+      res.capacity_exceeded = true;
+      res.reason = capacity_reason_;
+      return res;
+    }
     res.num_configurations = total_;
     const int arcs = M::directed ? params_.n : 2 * params_.n;
 
@@ -199,6 +239,8 @@ class ModelChecker {
   Params params_;
   std::uint64_t per_agent_ = 0;
   std::uint64_t total_ = 0;
+  bool capacity_exceeded_ = false;
+  std::string capacity_reason_;
 };
 
 }  // namespace ppsim::core

@@ -27,6 +27,29 @@ namespace ppsim::core {
   return d;
 }
 
+/// Endpoints of one interaction arc, in scheduler order.
+struct ArcEndpoints {
+  int initiator = 0;
+  int responder = 0;
+};
+
+/// The one initiator/responder arc mapping of the ring scheduler, shared by
+/// Runner, EnsembleRunner and ModelChecker so the random scheduler and the
+/// exhaustive checker cannot drift apart.
+///
+/// Arcs [0, n) are the directed arcs e_i = (u_i, u_{i+1 mod n}): the *left*
+/// agent is the initiator, matching the paper's "l is the initiator and r is
+/// the responder". On the undirected ring there are 2n arcs; arc n + i is the
+/// reverse of e_i, i.e. (u_{i+1 mod n} initiator, u_i responder).
+[[nodiscard]] constexpr ArcEndpoints arc_endpoints(int arc, int n) noexcept {
+  assert(n > 0 && arc >= 0 && arc < 2 * n);
+  if (arc < n) {
+    return {arc, arc + 1 == n ? 0 : arc + 1};
+  }
+  const int resp = arc - n;
+  return {resp + 1 == n ? 0 : resp + 1, resp};
+}
+
 /// ceil(log2(x)) for x >= 1.
 [[nodiscard]] constexpr int ceil_log2(std::uint64_t x) noexcept {
   int bits = 0;

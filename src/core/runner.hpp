@@ -19,6 +19,8 @@
 // (u_i, u_{i+1}) — the *left* agent is the initiator, matching the paper's
 // "l is the initiator and r is the responder". On the undirected ring there
 // are 2n arcs: e_i and its reverse (u_{i+1}, u_i), each with probability 1/2n.
+// The mapping itself lives in core/ring.hpp (`arc_endpoints`), shared with
+// the exhaustive ModelChecker so scheduler and checker cannot drift.
 //
 // Two scheduler paths share one RNG stream and are bit-identical:
 //
@@ -41,6 +43,14 @@
 // Both paths maintain identical census values at every step (a no-op
 // interaction cannot change any count), so any mix of step()/run()/
 // run_unbatched() produces the same trajectory (tests/core/batch_test.cpp).
+//
+// The per-interaction core (transition dispatch, delta census, fault
+// injection, recount) is factored into `InteractionEngine<P>` operating on a
+// raw agent array plus a `RingClock`, so `Runner` (one ring) and
+// `EnsembleRunner` (core/ensemble.hpp, R rings in one struct-of-arrays
+// block) execute literally the same code per interaction — per-ring
+// bit-identity between the two engines is by construction, then pinned by
+// tests/core/ensemble_test.cpp.
 #pragma once
 
 #include <algorithm>
@@ -54,6 +64,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/ring.hpp"
 #include "core/rng.hpp"
 
 namespace ppsim::core {
@@ -87,166 +98,30 @@ concept WantsOracle =
       P::apply(a, b, p, ctx);
     };
 
-/// Simulation runner. Owns the configuration, the scheduler RNG and step
-/// bookkeeping. Copyable (snapshot = copy).
-template <typename P>
-class Runner {
- public:
-  using State = typename P::State;
-  using Params = typename P::Params;
-
+/// Per-ring scheduler bookkeeping: step counter, incremental leader/token
+/// census, the Omega? leaderless clock and the oracle delay. One per Runner;
+/// one per ring in an EnsembleRunner (stored as a contiguous array there).
+struct RingClock {
   static constexpr std::uint64_t npos =
       std::numeric_limits<std::uint64_t>::max();
 
-  Runner(Params params, std::vector<State> initial, std::uint64_t seed)
-      : params_(std::move(params)),
-        agents_(std::move(initial)),
-        rng_(seed) {
-    assert(static_cast<int>(agents_.size()) == params_.n);
-    recount_leaders();
-  }
+  std::uint64_t steps = 0;
+  std::uint64_t last_leader_change = 0;
+  std::uint64_t leaderless_since = npos;
+  std::uint64_t oracle_delay = 0;
+  int leader_count = 0;
+  int token_count = 0;
+};
 
-  [[nodiscard]] const Params& params() const noexcept { return params_; }
-  [[nodiscard]] std::span<const State> agents() const noexcept {
-    return agents_;
-  }
-  [[nodiscard]] const State& agent(int i) const { return agents_.at(i); }
-  [[nodiscard]] int n() const noexcept { return params_.n; }
-  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+/// The per-interaction core of the engine, operating on a raw agent array and
+/// a RingClock — every census shape, the oracle context, the delta-census
+/// fast path and fault injection in one place, shared by Runner and
+/// EnsembleRunner so the two scheduler frontends cannot drift.
+template <typename P>
+struct InteractionEngine {
+  using State = typename P::State;
+  using Params = typename P::Params;
 
-  /// Number of arcs (= number of equally likely interactions per step).
-  [[nodiscard]] int arc_count() const noexcept {
-    return P::directed ? params_.n : 2 * params_.n;
-  }
-
-  /// Leader census (maintained incrementally; only meaningful when the
-  /// protocol has a leader output).
-  [[nodiscard]] int leader_count() const noexcept { return leader_count_; }
-
-  /// Token census (maintained incrementally; only meaningful when the
-  /// protocol has a `has_token` output).
-  [[nodiscard]] int token_count() const noexcept { return token_count_; }
-
-  /// Step index of the most recent change to the *set* of leaders, or 0.
-  [[nodiscard]] std::uint64_t last_leader_change() const noexcept {
-    return last_leader_change_;
-  }
-
-  /// Oracle delay (steps of uninterrupted leaderlessness before Omega?
-  /// reports absence). 0 = immediate reporting, the paper's Table-1 regime.
-  void set_oracle_delay(std::uint64_t d) noexcept { oracle_delay_ = d; }
-
-  /// Overwrite one agent's state (fault injection / adversarial setup).
-  /// Counts as a change of the leader set at the current step when the
-  /// injected state flips the agent's leader output, so fault-injection
-  /// harnesses reading `last_leader_change()` see the injection.
-  ///
-  /// The census is updated by the delta of the touched agent's predicates
-  /// (O(1), no full recount), so fault storms cost O(faults) rather than
-  /// O(faults * n). An injection into an already-leaderless population does
-  /// not reset the Omega? leaderless clock to "now" — the oracle's delay
-  /// counts from the original onset of leaderlessness — and injecting the
-  /// last leader away starts the clock at the current step, exactly as a
-  /// transition would.
-  void set_agent(int i, const State& s) {
-    State& slot = agents_.at(i);
-    if constexpr (HasLeaderOutput<P>) {
-      const bool was = P::is_leader(slot, params_);
-      const bool now = P::is_leader(s, params_);
-      leader_count_ += static_cast<int>(now) - static_cast<int>(was);
-      if (was != now) last_leader_change_ = steps_;
-      if (leader_count_ > 0) {
-        leaderless_since_ = npos;
-      } else if (leaderless_since_ == npos) {
-        leaderless_since_ = steps_;
-      }
-    }
-    if constexpr (HasTokenCensus<P>) {
-      token_count_ += (P::has_token(s, params_) ? 1 : 0) -
-                      (P::has_token(slot, params_) ? 1 : 0);
-    }
-    slot = s;
-  }
-
-  /// Execute a single uniformly random interaction.
-  void step() { apply_arc(static_cast<int>(rng_.bounded(arc_count()))); }
-
-  /// Execute `k` uniformly random interactions through the fused fast path.
-  void run(std::uint64_t k) {
-    const auto bound = static_cast<std::uint64_t>(arc_count());
-    const std::uint64_t threshold = Xoshiro256pp::rejection_threshold(bound);
-    for (std::uint64_t i = 0; i < k; ++i) {
-      apply_arc_batched(
-          static_cast<int>(rng_.bounded_with_threshold(bound, threshold)));
-    }
-  }
-
-  /// Execute `k` uniformly random interactions one draw at a time with the
-  /// unconditional before/after census — the pre-batching engine, kept as
-  /// the reference path (bench/throughput_json.cpp measures both in one
-  /// binary).
-  void run_unbatched(std::uint64_t k) {
-    for (std::uint64_t i = 0; i < k; ++i) step();
-  }
-
-  /// Execute the interaction identified by `arc` (deterministic scheduling).
-  /// For directed protocols arc in [0, n); for undirected, arcs in [n, 2n)
-  /// are the reversed pairs (u_{a-n+1} initiator, u_{a-n} responder).
-  void apply_arc(int arc) {
-    const auto [init_idx, resp_idx] = arc_endpoints(arc);
-    State& a = agents_[init_idx];
-    State& b = agents_[resp_idx];
-    if constexpr (HasLeaderOutput<P>) {
-      const bool la = P::is_leader(a, params_);
-      const bool lb = P::is_leader(b, params_);
-      int ta = 0, tb = 0;
-      if constexpr (HasTokenCensus<P>) {
-        ta = P::has_token(a, params_) ? 1 : 0;
-        tb = P::has_token(b, params_) ? 1 : 0;
-      }
-      dispatch(a, b);
-      census_after(a, b, la, lb, ta, tb);
-    } else {
-      dispatch(a, b);
-    }
-    ++steps_;
-  }
-
-  /// Apply a whole deterministic interaction sequence (arc ids).
-  void apply_sequence(std::span<const int> arcs) {
-    for (int a : arcs) apply_arc(a);
-  }
-
-  /// Run until `pred(agents, params)` holds, checking every `check_every`
-  /// steps (granularity of the reported hitting step). Returns the step count
-  /// at the first satisfied check, or nullopt if `max_steps` elapse first.
-  template <typename Pred>
-  std::optional<std::uint64_t> run_until(Pred&& pred, std::uint64_t max_steps,
-                                         std::uint64_t check_every = 0) {
-    if (check_every == 0)
-      check_every = static_cast<std::uint64_t>(params_.n);
-    if (pred(std::span<const State>(agents_), params_)) return steps_;
-    const std::uint64_t deadline = steps_ + max_steps;
-    while (steps_ < deadline) {
-      const std::uint64_t block =
-          std::min<std::uint64_t>(check_every, deadline - steps_);
-      run(block);
-      if (pred(std::span<const State>(agents_), params_)) return steps_;
-    }
-    return std::nullopt;
-  }
-
-  /// Run `k` steps invoking `observer(runner, arc)` after every interaction.
-  template <typename Observer>
-  void run_observed(std::uint64_t k, Observer&& observer) {
-    for (std::uint64_t i = 0; i < k; ++i) {
-      const int arc = static_cast<int>(rng_.bounded(arc_count()));
-      apply_arc(arc);
-      observer(*this, arc);
-    }
-  }
-
- private:
   // Token-census states that fit a 64-bit image are snapshotted before the
   // transition so a no-op interaction (bitwise-equal states) can skip the
   // census — including all four has_token re-evaluations — entirely; for
@@ -271,121 +146,286 @@ class Runner {
     return v;
   }
 
-  [[nodiscard]] std::pair<std::size_t, std::size_t> arc_endpoints(
-      int arc) const noexcept {
-    const int n = params_.n;
-    int init_idx, resp_idx;
-    if (arc < n) {
-      init_idx = arc;
-      resp_idx = arc + 1 == n ? 0 : arc + 1;
+  static void dispatch(State& a, State& b, const Params& params,
+                       const RingClock& clk) {
+    if constexpr (WantsOracle<P>) {
+      InteractionContext ctx;
+      ctx.no_leader = clk.leaderless_since != RingClock::npos &&
+                      clk.steps - clk.leaderless_since >= clk.oracle_delay;
+      ctx.no_token = clk.token_count == 0;
+      P::apply(a, b, params, ctx);
     } else {
-      resp_idx = arc - n;
-      init_idx = resp_idx + 1 == n ? 0 : resp_idx + 1;
+      P::apply(a, b, params);
     }
-    return {static_cast<std::size_t>(init_idx),
-            static_cast<std::size_t>(resp_idx)};
+  }
+
+  /// Fold the post-transition predicate values of the touched pair into the
+  /// census, given the pre-transition values. Shared by both scheduler paths.
+  static void census_after(const State& a, const State& b, bool la, bool lb,
+                           int ta, int tb, const Params& params,
+                           RingClock& clk) {
+    if constexpr (HasLeaderOutput<P>) {
+      const bool la2 = P::is_leader(a, params);
+      const bool lb2 = P::is_leader(b, params);
+      clk.leader_count += static_cast<int>(la2) - static_cast<int>(la) +
+                          static_cast<int>(lb2) - static_cast<int>(lb);
+      if (la != la2 || lb != lb2) clk.last_leader_change = clk.steps + 1;
+      if (clk.leader_count > 0) {
+        clk.leaderless_since = RingClock::npos;
+      } else if (clk.leaderless_since == RingClock::npos) {
+        clk.leaderless_since = clk.steps + 1;
+      }
+      if constexpr (HasTokenCensus<P>) {
+        clk.token_count += (P::has_token(a, params) ? 1 : 0) - ta +
+                           (P::has_token(b, params) ? 1 : 0) - tb;
+      }
+    }
+  }
+
+  /// One interaction of the reference path: unconditional before/after
+  /// census. `agents` is the ring's contiguous state array of params.n slots.
+  static void apply_arc(State* agents, int arc, const Params& params,
+                        RingClock& clk) {
+    const ArcEndpoints e = arc_endpoints(arc, params.n);
+    State& a = agents[e.initiator];
+    State& b = agents[e.responder];
+    if constexpr (HasLeaderOutput<P>) {
+      const bool la = P::is_leader(a, params);
+      const bool lb = P::is_leader(b, params);
+      int ta = 0, tb = 0;
+      if constexpr (HasTokenCensus<P>) {
+        ta = P::has_token(a, params) ? 1 : 0;
+        tb = P::has_token(b, params) ? 1 : 0;
+      }
+      dispatch(a, b, params, clk);
+      census_after(a, b, la, lb, ta, tb, params, clk);
+    } else {
+      dispatch(a, b, params, clk);
+    }
+    ++clk.steps;
   }
 
   /// One interaction of the fast path: delta census via state snapshots.
   /// Bit-identical to apply_arc() — see the header comment.
-  void apply_arc_batched(int arc) {
-    const auto [init_idx, resp_idx] = arc_endpoints(arc);
-    State& a = agents_[init_idx];
-    State& b = agents_[resp_idx];
+  static void apply_arc_batched(State* agents, int arc, const Params& params,
+                                RingClock& clk) {
+    const ArcEndpoints e = arc_endpoints(arc, params.n);
+    State& a = agents[e.initiator];
+    State& b = agents[e.responder];
     if constexpr (!HasLeaderOutput<P>) {
       // Compile-time specialization: no outputs to track, bare transition.
-      dispatch(a, b);
+      dispatch(a, b, params, clk);
     } else if constexpr (kSnapshotStates) {
       // Images are built straight from the array slots (two loads each);
       // the old states are only materialized on the rare changed path.
       const std::uint64_t image_a = state_image(a);
       const std::uint64_t image_b = state_image(b);
-      dispatch(a, b);
+      dispatch(a, b, params, clk);
       if (state_image(a) != image_a || state_image(b) != image_b) {
         State oa, ob;
         std::memcpy(&oa, &image_a, sizeof(State));
         std::memcpy(&ob, &image_b, sizeof(State));
         // The snapshot supplies the "before" predicate values.
-        const bool la = P::is_leader(oa, params_);
-        const bool lb = P::is_leader(ob, params_);
+        const bool la = P::is_leader(oa, params);
+        const bool lb = P::is_leader(ob, params);
         int ta = 0, tb = 0;
         if constexpr (HasTokenCensus<P>) {
-          ta = P::has_token(oa, params_) ? 1 : 0;
-          tb = P::has_token(ob, params_) ? 1 : 0;
+          ta = P::has_token(oa, params) ? 1 : 0;
+          tb = P::has_token(ob, params) ? 1 : 0;
         }
-        census_after(a, b, la, lb, ta, tb);
+        census_after(a, b, la, lb, ta, tb, params, clk);
       }
     } else {
-      const bool la = P::is_leader(a, params_);
-      const bool lb = P::is_leader(b, params_);
+      const bool la = P::is_leader(a, params);
+      const bool lb = P::is_leader(b, params);
       int ta = 0, tb = 0;
       if constexpr (HasTokenCensus<P>) {
-        ta = P::has_token(a, params_) ? 1 : 0;
-        tb = P::has_token(b, params_) ? 1 : 0;
+        ta = P::has_token(a, params) ? 1 : 0;
+        tb = P::has_token(b, params) ? 1 : 0;
       }
-      dispatch(a, b);
-      census_after(a, b, la, lb, ta, tb);
+      dispatch(a, b, params, clk);
+      census_after(a, b, la, lb, ta, tb, params, clk);
     }
-    ++steps_;
+    ++clk.steps;
   }
 
-  /// Fold the post-transition predicate values of the touched pair into the
-  /// census, given the pre-transition values. Shared by both scheduler paths.
-  void census_after(const State& a, const State& b, bool la, bool lb, int ta,
-                    int tb) {
+  /// Overwrite one agent slot (fault injection): census updated by the delta
+  /// of the touched agent's predicates, O(1) per fault. See
+  /// Runner::set_agent for the oracle-clock semantics.
+  static void set_agent(State& slot, const State& s, const Params& params,
+                        RingClock& clk) {
     if constexpr (HasLeaderOutput<P>) {
-      const bool la2 = P::is_leader(a, params_);
-      const bool lb2 = P::is_leader(b, params_);
-      leader_count_ += static_cast<int>(la2) - static_cast<int>(la) +
-                       static_cast<int>(lb2) - static_cast<int>(lb);
-      if (la != la2 || lb != lb2) last_leader_change_ = steps_ + 1;
-      if (leader_count_ > 0) {
-        leaderless_since_ = npos;
-      } else if (leaderless_since_ == npos) {
-        leaderless_since_ = steps_ + 1;
+      const bool was = P::is_leader(slot, params);
+      const bool now = P::is_leader(s, params);
+      clk.leader_count += static_cast<int>(now) - static_cast<int>(was);
+      if (was != now) clk.last_leader_change = clk.steps;
+      if (clk.leader_count > 0) {
+        clk.leaderless_since = RingClock::npos;
+      } else if (clk.leaderless_since == RingClock::npos) {
+        clk.leaderless_since = clk.steps;
       }
-      if constexpr (HasTokenCensus<P>) {
-        token_count_ += (P::has_token(a, params_) ? 1 : 0) - ta +
-                        (P::has_token(b, params_) ? 1 : 0) - tb;
-      }
-    }
-  }
-
-  void dispatch(State& a, State& b) {
-    if constexpr (WantsOracle<P>) {
-      InteractionContext ctx;
-      ctx.no_leader = leaderless_since_ != npos &&
-                      steps_ - leaderless_since_ >= oracle_delay_;
-      ctx.no_token = token_count_ == 0;
-      P::apply(a, b, params_, ctx);
-    } else {
-      P::apply(a, b, params_);
-    }
-  }
-
-  void recount_leaders() {
-    if constexpr (HasLeaderOutput<P>) {
-      leader_count_ = 0;
-      for (const State& s : agents_)
-        leader_count_ += P::is_leader(s, params_) ? 1 : 0;
-      leaderless_since_ = leader_count_ == 0 ? steps_ : npos;
     }
     if constexpr (HasTokenCensus<P>) {
-      token_count_ = 0;
-      for (const State& s : agents_)
-        token_count_ += P::has_token(s, params_) ? 1 : 0;
+      clk.token_count += (P::has_token(s, params) ? 1 : 0) -
+                         (P::has_token(slot, params) ? 1 : 0);
+    }
+    slot = s;
+  }
+
+  /// Full census recount (construction / ground-truth cross-checks).
+  static void recount(std::span<const State> agents, const Params& params,
+                      RingClock& clk) {
+    if constexpr (HasLeaderOutput<P>) {
+      clk.leader_count = 0;
+      for (const State& s : agents)
+        clk.leader_count += P::is_leader(s, params) ? 1 : 0;
+      clk.leaderless_since =
+          clk.leader_count == 0 ? clk.steps : RingClock::npos;
+    }
+    if constexpr (HasTokenCensus<P>) {
+      clk.token_count = 0;
+      for (const State& s : agents)
+        clk.token_count += P::has_token(s, params) ? 1 : 0;
+    }
+  }
+};
+
+/// Simulation runner. Owns the configuration, the scheduler RNG and step
+/// bookkeeping. Copyable (snapshot = copy).
+template <typename P>
+class Runner {
+ public:
+  using State = typename P::State;
+  using Params = typename P::Params;
+  using Engine = InteractionEngine<P>;
+
+  static constexpr std::uint64_t npos =
+      std::numeric_limits<std::uint64_t>::max();
+
+  Runner(Params params, std::vector<State> initial, std::uint64_t seed)
+      : params_(std::move(params)),
+        agents_(std::move(initial)),
+        rng_(seed) {
+    assert(static_cast<int>(agents_.size()) == params_.n);
+    Engine::recount(agents_, params_, clk_);
+  }
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::span<const State> agents() const noexcept {
+    return agents_;
+  }
+  [[nodiscard]] const State& agent(int i) const { return agents_.at(i); }
+  [[nodiscard]] int n() const noexcept { return params_.n; }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return clk_.steps; }
+
+  /// Number of arcs (= number of equally likely interactions per step).
+  [[nodiscard]] int arc_count() const noexcept {
+    return P::directed ? params_.n : 2 * params_.n;
+  }
+
+  /// Leader census (maintained incrementally; only meaningful when the
+  /// protocol has a leader output).
+  [[nodiscard]] int leader_count() const noexcept { return clk_.leader_count; }
+
+  /// Token census (maintained incrementally; only meaningful when the
+  /// protocol has a `has_token` output).
+  [[nodiscard]] int token_count() const noexcept { return clk_.token_count; }
+
+  /// Step index of the most recent change to the *set* of leaders, or 0.
+  [[nodiscard]] std::uint64_t last_leader_change() const noexcept {
+    return clk_.last_leader_change;
+  }
+
+  /// Oracle delay (steps of uninterrupted leaderlessness before Omega?
+  /// reports absence). 0 = immediate reporting, the paper's Table-1 regime.
+  void set_oracle_delay(std::uint64_t d) noexcept { clk_.oracle_delay = d; }
+
+  /// Overwrite one agent's state (fault injection / adversarial setup).
+  /// Counts as a change of the leader set at the current step when the
+  /// injected state flips the agent's leader output, so fault-injection
+  /// harnesses reading `last_leader_change()` see the injection.
+  ///
+  /// The census is updated by the delta of the touched agent's predicates
+  /// (O(1), no full recount), so fault storms cost O(faults) rather than
+  /// O(faults * n). An injection into an already-leaderless population does
+  /// not reset the Omega? leaderless clock to "now" — the oracle's delay
+  /// counts from the original onset of leaderlessness — and injecting the
+  /// last leader away starts the clock at the current step, exactly as a
+  /// transition would.
+  void set_agent(int i, const State& s) {
+    Engine::set_agent(agents_.at(i), s, params_, clk_);
+  }
+
+  /// Execute a single uniformly random interaction.
+  void step() { apply_arc(static_cast<int>(rng_.bounded(arc_count()))); }
+
+  /// Execute `k` uniformly random interactions through the fused fast path.
+  void run(std::uint64_t k) {
+    const auto bound = static_cast<std::uint64_t>(arc_count());
+    const std::uint64_t threshold = Xoshiro256pp::rejection_threshold(bound);
+    State* const agents = agents_.data();
+    for (std::uint64_t i = 0; i < k; ++i) {
+      Engine::apply_arc_batched(
+          agents,
+          static_cast<int>(rng_.bounded_with_threshold(bound, threshold)),
+          params_, clk_);
     }
   }
 
+  /// Execute `k` uniformly random interactions one draw at a time with the
+  /// unconditional before/after census — the pre-batching engine, kept as
+  /// the reference path (bench/throughput_json.cpp measures both in one
+  /// binary).
+  void run_unbatched(std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) step();
+  }
+
+  /// Execute the interaction identified by `arc` (deterministic scheduling).
+  /// For directed protocols arc in [0, n); for undirected, arcs in [n, 2n)
+  /// are the reversed pairs (u_{a-n+1} initiator, u_{a-n} responder).
+  void apply_arc(int arc) {
+    Engine::apply_arc(agents_.data(), arc, params_, clk_);
+  }
+
+  /// Apply a whole deterministic interaction sequence (arc ids).
+  void apply_sequence(std::span<const int> arcs) {
+    for (int a : arcs) apply_arc(a);
+  }
+
+  /// Run until `pred(agents, params)` holds, checking every `check_every`
+  /// steps (granularity of the reported hitting step). Returns the step count
+  /// at the first satisfied check, or nullopt if `max_steps` elapse first.
+  template <typename Pred>
+  std::optional<std::uint64_t> run_until(Pred&& pred, std::uint64_t max_steps,
+                                         std::uint64_t check_every = 0) {
+    if (check_every == 0)
+      check_every = static_cast<std::uint64_t>(params_.n);
+    if (pred(std::span<const State>(agents_), params_)) return clk_.steps;
+    const std::uint64_t deadline = clk_.steps + max_steps;
+    while (clk_.steps < deadline) {
+      const std::uint64_t block =
+          std::min<std::uint64_t>(check_every, deadline - clk_.steps);
+      run(block);
+      if (pred(std::span<const State>(agents_), params_)) return clk_.steps;
+    }
+    return std::nullopt;
+  }
+
+  /// Run `k` steps invoking `observer(runner, arc)` after every interaction.
+  template <typename Observer>
+  void run_observed(std::uint64_t k, Observer&& observer) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const int arc = static_cast<int>(rng_.bounded(arc_count()));
+      apply_arc(arc);
+      observer(*this, arc);
+    }
+  }
+
+ private:
   Params params_;
   std::vector<State> agents_;
   Xoshiro256pp rng_;
-  std::uint64_t steps_ = 0;
-  int leader_count_ = 0;
-  int token_count_ = 0;
-  std::uint64_t last_leader_change_ = 0;
-  std::uint64_t leaderless_since_ = npos;
-  std::uint64_t oracle_delay_ = 0;
+  RingClock clk_;
 };
 
 }  // namespace ppsim::core

@@ -126,7 +126,7 @@ TEST(Scenario, StabilizationFailuresAreNotRecoveryFailures) {
     return pl::random_config(pp, rng);
   };
   spec.schedule = burst_schedule(1);
-  spec.inject = [](core::Runner<pl::PlProtocol>& r, int faults,
+  spec.inject = [](core::RingView<pl::PlProtocol> r, int faults,
                    core::Xoshiro256pp& rng) {
     inject_random_faults(r, faults, rng);
   };

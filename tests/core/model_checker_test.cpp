@@ -106,6 +106,70 @@ TEST(ModelChecker, RejectsBrokenProtocol) {
   EXPECT_EQ(count_tokens(cfg), 0);
 }
 
+/// 16 states/agent: n = 16 makes per_agent^n = 2^64 overflow uint64; n = 8
+/// stays representable (2^32) but exceeds the 32-bit Tarjan index capacity.
+struct WideModel {
+  struct State {
+    int v = 0;
+  };
+  struct Params {
+    int n = 0;
+  };
+  static constexpr bool directed = true;
+  static std::size_t num_states(const Params&) { return 16; }
+  static std::size_t pack(const State& s, const Params&, int) {
+    return static_cast<std::size_t>(s.v);
+  }
+  static State unpack(std::size_t v, const Params&, int) {
+    return State{static_cast<int>(v)};
+  }
+  static void apply(State&, State&, const Params&) {}
+};
+
+TEST(ModelChecker, Uint64OverflowIsACapacityErrorNotAGarbageVerdict) {
+  // 16^17 > 2^64: the old constructor silently wrapped total_, so check()
+  // would have "verified" a garbage state space. It must refuse instead.
+  ModelChecker<WideModel> mc({17});
+  EXPECT_TRUE(mc.capacity_exceeded());
+  EXPECT_EQ(mc.num_configurations(), 0u);
+  const auto res = mc.check(
+      [](std::span<const WideModel::State>, const WideModel::Params&) {
+        return 0;
+      },
+      [](int) { return true; });
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.capacity_exceeded);
+  EXPECT_NE(res.reason.find("capacity"), std::string::npos) << res.reason;
+  EXPECT_FALSE(res.counterexample.has_value());
+}
+
+TEST(ModelChecker, Uint32IndexCapacityIsDetectedWithoutAllocating) {
+  // 16^8 = 2^32 fits uint64 but not the checker's uint32 index/component
+  // packing (0xFFFFFFFF is the unset marker). check() must refuse up front —
+  // this test would need ~50 GB if it tried to allocate.
+  ModelChecker<WideModel> mc({8});
+  EXPECT_TRUE(mc.capacity_exceeded());
+  const auto res = mc.check(
+      [](std::span<const WideModel::State>, const WideModel::Params&) {
+        return 0;
+      },
+      [](int) { return true; });
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.capacity_exceeded);
+}
+
+TEST(ModelChecker, InCapacitySpacesReportNoCapacityError) {
+  ModelChecker<MergeModel> mc({4});
+  EXPECT_FALSE(mc.capacity_exceeded());
+  const auto res = mc.check(
+      [](std::span<const MergeModel::State> c, const MergeModel::Params&) {
+        return count_tokens(c);
+      },
+      [](int tokens) { return tokens <= 1; });
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(res.capacity_exceeded);
+}
+
 /// Per-agent inputs: agent i's state offset by its position; round-trip must
 /// respect the position argument.
 struct PositionModel {
