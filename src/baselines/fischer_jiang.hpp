@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -102,6 +103,13 @@ struct FischerJiang {
   [[nodiscard]] static bool has_token(const State& s,
                                       const Params&) noexcept {
     return s.bullet != 0;
+  }
+
+  static std::string describe(const State& s, const Params&) {
+    return "{leader=" + std::to_string(s.leader) +
+           " bullet=" + std::to_string(s.bullet) +
+           " shield=" + std::to_string(s.shield) +
+           " armed=" + std::to_string(s.armed) + "}";
   }
 };
 

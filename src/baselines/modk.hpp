@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/elimination.hpp"
@@ -137,6 +138,14 @@ struct Modk {
     s.leader = static_cast<std::uint8_t>(v);
     return s;
   }
+
+  static std::string describe(const State& s, const Params&) {
+    return "{leader=" + std::to_string(s.leader) +
+           " lab=" + std::to_string(s.lab) +
+           " bullet=" + std::to_string(s.bullet) +
+           " shield=" + std::to_string(s.shield) +
+           " signalB=" + std::to_string(s.signal_b) + "}";
+  }
 };
 
 /// Model-checker adapter (pack/unpack the 48-state-per-agent space for k=2);
@@ -157,6 +166,11 @@ struct ModkModel {
   }
   static void apply(State& l, State& r, const Params& p) noexcept {
     Modk::apply(l, r, p);
+  }
+  /// Human-readable state rendering for decoded counterexamples
+  /// (core::ModelChecker::describe_counterexample).
+  static std::string describe(const State& s, const Params& p) {
+    return Modk::describe(s, p);
   }
 };
 

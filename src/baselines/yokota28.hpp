@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/elimination.hpp"
@@ -70,6 +71,14 @@ struct Yokota28 {
   [[nodiscard]] static bool is_leader(const State& s,
                                       const Params&) noexcept {
     return s.leader == 1;
+  }
+
+  static std::string describe(const State& s, const Params&) {
+    return "{leader=" + std::to_string(s.leader) +
+           " dist=" + std::to_string(s.dist) +
+           " bullet=" + std::to_string(s.bullet) +
+           " shield=" + std::to_string(s.shield) +
+           " signalB=" + std::to_string(s.signal_b) + "}";
   }
 };
 

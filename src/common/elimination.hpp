@@ -22,6 +22,8 @@
 
 #include <algorithm>
 #include <concepts>
+#include <cstdint>
+#include <string>
 
 namespace ppsim::common {
 
@@ -97,5 +99,72 @@ constexpr void eliminate_leaders_step(S& l, S& r) noexcept {
   NoopElimSink sink;
   eliminate_leaders_step(l, r, sink);
 }
+
+/// Minimal elimination-only agent state (no creation machinery): the 24-value
+/// domain 2 leader x 3 bullet x 2 shield x 2 signal_b.
+struct ElimAgentState {
+  std::uint8_t leader = 0;
+  std::uint8_t bullet = 0;
+  std::uint8_t shield = 0;
+  std::uint8_t signal_b = 0;
+
+  friend constexpr bool operator==(const ElimAgentState&,
+                                   const ElimAgentState&) = default;
+};
+
+/// EliminateLeaders() as a standalone protocol, runnable in core::Runner /
+/// core::EnsembleRunner (pack_state enables the packed transition table) and
+/// checkable in core::ModelChecker / verification::QuotientChecker (the
+/// pack/unpack checker adapter — position independent, so the quotient
+/// checker gets the full rotation group). Promoted out of the elimination
+/// tests so the checker bench and the differential fuzzer drive the same
+/// definition the unit tests pin down.
+struct EliminationProtocol {
+  using State = ElimAgentState;
+  struct Params {
+    int n = 0;
+  };
+  static constexpr bool directed = true;
+
+  static void apply(State& l, State& r, const Params&) noexcept {
+    eliminate_leaders_step(l, r);
+  }
+  [[nodiscard]] static bool is_leader(const State& s, const Params&) noexcept {
+    return s.leader == 1;
+  }
+
+  /// Canonical enumeration of the O(1) per-agent domain (EnsembleRunner's
+  /// packed-state mode).
+  static std::size_t num_states(const Params&) { return 24; }
+  static std::size_t pack_state(const State& s, const Params&) {
+    return ((s.leader * 3ULL + s.bullet) * 2 + s.shield) * 2 + s.signal_b;
+  }
+  static State unpack_state(std::size_t v, const Params&) {
+    State s;
+    s.signal_b = static_cast<std::uint8_t>(v % 2);
+    v /= 2;
+    s.shield = static_cast<std::uint8_t>(v % 2);
+    v /= 2;
+    s.bullet = static_cast<std::uint8_t>(v % 3);
+    v /= 3;
+    s.leader = static_cast<std::uint8_t>(v);
+    return s;
+  }
+
+  // Model-checker adapter: the same enumeration, with the position argument
+  // the checker interface carries (unused — the domain is position free).
+  static std::size_t pack(const State& s, const Params& p, int /*agent*/) {
+    return pack_state(s, p);
+  }
+  static State unpack(std::size_t v, const Params& p, int /*agent*/) {
+    return unpack_state(v, p);
+  }
+  static std::string describe(const State& s, const Params&) {
+    return "{leader=" + std::to_string(s.leader) +
+           " bullet=" + std::to_string(s.bullet) +
+           " shield=" + std::to_string(s.shield) +
+           " signalB=" + std::to_string(s.signal_b) + "}";
+  }
+};
 
 }  // namespace ppsim::common

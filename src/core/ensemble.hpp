@@ -179,6 +179,14 @@ class EnsembleRunner {
     for (RingClock& c : clocks_) c.oracle_delay = d;
   }
 
+  /// Permanently leave the packed-state mode (no-op when already generic):
+  /// every subsequent interaction goes through the shared InteractionEngine
+  /// fast path. Trajectories are bit-identical either way — this exists so
+  /// the differential fuzz harness (src/verification/differential.hpp) can
+  /// drive the generic and packed kernels side by side on protocols where
+  /// the table would otherwise always win.
+  void force_generic_path() { deactivate_lut(); }
+
   /// Fault injection into ring r, delta-census, identical to
   /// Runner::set_agent. In packed mode the injected state must round-trip
   /// the packing; otherwise the ensemble drops to the generic path (still

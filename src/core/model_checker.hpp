@@ -36,6 +36,33 @@
 
 namespace ppsim::core {
 
+namespace detail {
+
+/// per_agent^n, or nullopt when the product overflows uint64 (a silent wrap
+/// would let a checker "verify" a garbage state space). Shared by the
+/// unreduced checker, its static capacity() probe, and the quotient checker.
+[[nodiscard]] constexpr std::optional<std::uint64_t> checked_pow(
+    std::uint64_t per_agent, int n) noexcept {
+  std::uint64_t total = 1;
+  for (int i = 0; i < n; ++i) {
+    if (per_agent != 0 &&
+        total > std::numeric_limits<std::uint64_t>::max() / per_agent)
+      return std::nullopt;
+    total *= per_agent;
+  }
+  return total;
+}
+
+}  // namespace detail
+
+/// Adapters may expose a human-readable per-state formatter; without one,
+/// describe_configuration falls back to the packed value ("q17").
+template <typename M>
+concept HasStateDescription =
+    requires(const typename M::State& s, const typename M::Params& p) {
+      { M::describe(s, p) } -> std::convertible_to<std::string>;
+    };
+
 struct CheckResult {
   bool ok = false;
   /// The state space exceeds what the checker can represent (per_agent^n
@@ -62,28 +89,51 @@ class ModelChecker {
   /// packed into uint32 arrays with 0xFFFFFFFF reserved as the unset marker.
   static constexpr std::uint64_t kMaxConfigurations = 0xFFFFFFFEull;
 
-  explicit ModelChecker(Params params) : params_(std::move(params)) {
+  /// True iff a checker for `params` would accept the state space: per
+  /// agent^n representable in uint64 and within min(node_budget,
+  /// kMaxConfigurations) stored configurations. Callers probe this *before*
+  /// constructing (the new checker bench auto-selects the largest certifiable
+  /// n with it); a constructed checker reports the same verdict through
+  /// capacity_exceeded().
+  [[nodiscard]] static bool capacity(
+      const Params& params,
+      std::uint64_t node_budget = kMaxConfigurations) {
+    const auto total = detail::checked_pow(M::num_states(params), params.n);
+    return total.has_value() &&
+           *total <= std::min(node_budget, kMaxConfigurations);
+  }
+
+  /// `node_budget` caps the number of configurations the checker will hold
+  /// in its index arrays (12 bytes per configuration): exceeding it is a
+  /// capacity failure up front, never an OOM mid-check. The structural
+  /// kMaxConfigurations cap always applies on top.
+  explicit ModelChecker(Params params,
+                        std::uint64_t node_budget = kMaxConfigurations)
+      : params_(std::move(params)) {
     per_agent_ = M::num_states(params_);
-    total_ = 1;
     // per_agent^n with explicit overflow detection: a silent uint64 wrap
     // would make the checker "verify" a garbage state space. The uint32
-    // Tarjan-index capacity is checked here too so check() can refuse
-    // before allocating anything.
-    for (int i = 0; i < params_.n && !capacity_exceeded_; ++i) {
-      if (per_agent_ != 0 &&
-          total_ > std::numeric_limits<std::uint64_t>::max() / per_agent_) {
-        capacity_exceeded_ = true;
-        capacity_reason_ =
-            "state space capacity exceeded: per_agent^n overflows uint64";
-        break;
-      }
-      total_ *= per_agent_;
+    // Tarjan-index capacity and the caller's node budget are checked here
+    // too so check() can refuse before allocating anything.
+    if (const auto total = detail::checked_pow(per_agent_, params_.n)) {
+      total_ = *total;
+    } else {
+      capacity_exceeded_ = true;
+      capacity_reason_ =
+          "state space capacity exceeded: per_agent^n overflows uint64";
     }
     if (!capacity_exceeded_ && total_ > kMaxConfigurations) {
       capacity_exceeded_ = true;
       capacity_reason_ =
           "state space capacity exceeded: configuration count does not fit "
           "the checker's 32-bit index arrays";
+    }
+    if (!capacity_exceeded_ && total_ > node_budget) {
+      capacity_exceeded_ = true;
+      capacity_reason_ =
+          "state space capacity exceeded: " + std::to_string(total_) +
+          " configurations over the node budget of " +
+          std::to_string(node_budget);
     }
     if (capacity_exceeded_) total_ = 0;  // never a plausible-looking wrap
   }
@@ -117,6 +167,36 @@ class ModelChecker {
       id = id * per_agent_ +
            M::pack(config[static_cast<std::size_t>(i)], params_, i);
     return id;
+  }
+
+  /// Human-readable rendering of one configuration id: the per-agent state
+  /// list, decoded through M::unpack. Uses the adapter's `describe(State,
+  /// Params)` when it has one; otherwise prints the packed value per agent.
+  [[nodiscard]] std::string describe_configuration(std::uint64_t id) const {
+    const auto cfg = decode(id);
+    std::string out = "configuration " + std::to_string(id) + ":";
+    for (int i = 0; i < params_.n; ++i) {
+      const State& s = cfg[static_cast<std::size_t>(i)];
+      out += "\n  u_" + std::to_string(i) + ": ";
+      if constexpr (HasStateDescription<M>) {
+        out += M::describe(s, params_);
+      } else {
+        out += "q" + std::to_string(M::pack(s, params_, i));
+      }
+    }
+    return out;
+  }
+
+  /// The decoded counterexample of a CheckResult, ready to print from tests
+  /// and benches — self-stabilization bugs are debugged from the offending
+  /// configuration, not from an opaque uint64.
+  [[nodiscard]] std::string describe_counterexample(
+      const CheckResult& res) const {
+    if (!res.counterexample.has_value())
+      return "(no counterexample: " +
+             (res.reason.empty() ? std::string("check passed") : res.reason) +
+             ")";
+    return res.reason + "\n" + describe_configuration(*res.counterexample);
   }
 
   /// Successor configuration under arc `a`. The initiator/responder mapping

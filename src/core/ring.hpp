@@ -50,6 +50,30 @@ struct ArcEndpoints {
   return {resp + 1 == n ? 0 : resp + 1, resp};
 }
 
+/// Arc id of `arc` after rotating every agent index by `delta` (the ring
+/// automorphism u_i -> u_{i+delta}). Forward arcs map to forward arcs and
+/// reversed arcs to reversed arcs, so the uniform scheduler is invariant
+/// under rotation — the soundness premise of the symmetry-reduced checker
+/// (src/verification/quotient.hpp). Verified against arc_endpoints in
+/// tests/core/ring_test.cpp.
+[[nodiscard]] constexpr int rotate_arc(int arc, int delta, int n) noexcept {
+  assert(n > 0 && arc >= 0 && arc < 2 * n);
+  if (arc < n) return ring_add(arc, delta, n);
+  return n + ring_add(arc - n, delta, n);
+}
+
+/// Arc id of `arc` under the reflection u_i -> u_{n-1-i}. Reflection swaps
+/// the two orientations of every edge, so it maps forward arcs to reversed
+/// arcs and back — an automorphism of the *undirected* scheduler's arc set
+/// (all 2n arcs, uniform) but not of the directed one. An involution.
+[[nodiscard]] constexpr int reflect_arc(int arc, int n) noexcept {
+  assert(n > 0 && arc >= 0 && arc < 2 * n);
+  // n - 2 - arc can be negative, so it rides in ring_add's delta argument
+  // (the only one allowed out of range).
+  if (arc < n) return n + ring_add(0, n - 2 - arc, n);
+  return ring_add(0, n - 2 - (arc - n), n);
+}
+
 /// ceil(log2(x)) for x >= 1.
 [[nodiscard]] constexpr int ceil_log2(std::uint64_t x) noexcept {
   int bits = 0;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -86,6 +87,50 @@ struct Por {
       const State& s, std::uint8_t excluded) noexcept {
     return s.c1 == excluded ? s.c2 : s.c1;
   }
+
+  /// Canonical enumeration of the *full* per-agent state (colors included)
+  /// over the xi-color palette: 2 strong x xi^4 (color, c1, c2, dir) = 162
+  /// states for xi = 3. This is the position-free enumeration
+  /// core::EnsembleRunner's packed-state mode and the differential fuzzer
+  /// consume; the exhaustive checker keeps the separate PorModel below,
+  /// which pins the colors to the ring position and enumerates only the
+  /// writable dir/strong pair. The domain is closed under apply: the
+  /// transition never writes the color inputs, and every dir it writes is a
+  /// palette color.
+  static std::size_t num_states(const Params& p) {
+    const auto xi = static_cast<std::size_t>(p.xi);
+    return xi * xi * xi * xi * 2;
+  }
+  static std::size_t pack_state(const State& s, const Params& p) {
+    const auto xi = static_cast<std::size_t>(p.xi);
+    std::size_t v = s.color;
+    v = v * xi + s.c1;
+    v = v * xi + s.c2;
+    v = v * xi + s.dir;
+    v = v * 2 + s.strong;
+    return v;
+  }
+  static State unpack_state(std::size_t v, const Params& p) {
+    const auto xi = static_cast<std::size_t>(p.xi);
+    State s;
+    s.strong = static_cast<std::uint8_t>(v % 2);
+    v /= 2;
+    s.dir = static_cast<std::uint8_t>(v % xi);
+    v /= xi;
+    s.c2 = static_cast<std::uint8_t>(v % xi);
+    v /= xi;
+    s.c1 = static_cast<std::uint8_t>(v % xi);
+    v /= xi;
+    s.color = static_cast<std::uint8_t>(v);
+    return s;
+  }
+
+  static std::string describe(const State& s, const Params&) {
+    return "{color=" + std::to_string(s.color) +
+           " c1=" + std::to_string(s.c1) + " c2=" + std::to_string(s.c2) +
+           " dir=" + std::to_string(s.dir) +
+           " strong=" + std::to_string(s.strong) + "}";
+  }
 };
 
 /// Definition 5.1 (i)+(ii): proper two-hop coloring (guaranteed by the
@@ -117,6 +162,9 @@ struct PorModel {
   static State unpack(std::size_t v, const Params& p, int agent);
   static void apply(State& l, State& r, const Params& p) noexcept {
     Por::apply(l, r, p);
+  }
+  static std::string describe(const State& s, const Params& p) {
+    return Por::describe(s, p);
   }
 };
 

@@ -12,6 +12,8 @@
 // unchanged.
 #pragma once
 
+#include <string>
+
 #include "common/elimination.hpp"
 #include "pl/events.hpp"
 #include "pl/params.hpp"
@@ -245,6 +247,26 @@ struct PlProtocol {
   [[nodiscard]] static bool is_leader(const State& s,
                                       const Params&) noexcept {
     return s.leader == 1;
+  }
+
+  /// Human-readable state rendering (differential-fuzzer divergence reports;
+  /// same customization point the checker adapters expose for decoded
+  /// counterexamples).
+  static std::string describe(const State& s, const Params&) {
+    const auto token = [](const Token& t) {
+      if (!t.exists()) return std::string("bot");
+      return "(" + std::to_string(t.pos) + "," + std::to_string(t.value) +
+             "," + std::to_string(t.carry) + ")";
+    };
+    return "{leader=" + std::to_string(s.leader) +
+           " b=" + std::to_string(s.b) + " dist=" + std::to_string(s.dist) +
+           " last=" + std::to_string(s.last) + " tokB=" + token(s.token_b) +
+           " tokW=" + token(s.token_w) + " clock=" + std::to_string(s.clock) +
+           " hits=" + std::to_string(s.hits) +
+           " signalR=" + std::to_string(s.signal_r) +
+           " bullet=" + std::to_string(s.bullet) +
+           " shield=" + std::to_string(s.shield) +
+           " signalB=" + std::to_string(s.signal_b) + "}";
   }
 };
 

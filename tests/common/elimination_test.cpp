@@ -12,45 +12,22 @@
 namespace ppsim::common {
 namespace {
 
-struct ES {
-  std::uint8_t leader = 0;
-  std::uint8_t bullet = 0;
-  std::uint8_t shield = 0;
-  std::uint8_t signal_b = 0;
-  friend constexpr bool operator==(const ES&, const ES&) = default;
-};
+// The standalone elimination-only protocol + checker adapter now lives in
+// common/elimination.hpp (EliminationProtocol), shared with the quotient
+// checker bench and the differential fuzzer; these aliases keep the test
+// bodies unchanged.
+using ES = ElimAgentState;
+using ElimProto = EliminationProtocol;
 
-/// Elimination as a standalone protocol (no creation), for the runner and
-/// the model checker.
-struct ElimProto {
-  using State = ES;
-  struct Params {
-    int n = 0;
-  };
-  static constexpr bool directed = true;
-  static void apply(State& l, State& r, const Params&) {
-    eliminate_leaders_step(l, r);
+TEST(EliminationProtocolAdapter, PackUnpackRoundTripsTheWholeDomain) {
+  const ElimProto::Params p{4};
+  for (std::size_t v = 0; v < ElimProto::num_states(p); ++v) {
+    const ES s = ElimProto::unpack_state(v, p);
+    EXPECT_EQ(ElimProto::pack_state(s, p), v);
+    EXPECT_EQ(ElimProto::pack(s, p, 2), v);  // position-free adapter
+    EXPECT_EQ(ElimProto::unpack(v, p, 3), s);
   }
-  static bool is_leader(const State& s, const Params&) {
-    return s.leader == 1;
-  }
-  // Model-checker adapter.
-  static std::size_t num_states(const Params&) { return 24; }
-  static std::size_t pack(const State& s, const Params&, int) {
-    return ((s.leader * 3ULL + s.bullet) * 2 + s.shield) * 2 + s.signal_b;
-  }
-  static State unpack(std::size_t v, const Params&, int) {
-    State s;
-    s.signal_b = static_cast<std::uint8_t>(v % 2);
-    v /= 2;
-    s.shield = static_cast<std::uint8_t>(v % 2);
-    v /= 2;
-    s.bullet = static_cast<std::uint8_t>(v % 3);
-    v /= 3;
-    s.leader = static_cast<std::uint8_t>(v);
-    return s;
-  }
-};
+}
 
 TEST(Elimination, InitiatorLeaderFiresLiveAndShields) {
   ES l, r;

@@ -4,61 +4,21 @@
 
 #include <span>
 
+#include "verification/toys.hpp"
+
 namespace ppsim::core {
 namespace {
 
-/// Toy protocol that provably self-stabilizes to "exactly one token":
-/// adjacent tokens merge; a tokenless ring... cannot occur since tokens never
-/// vanish entirely (merge keeps one). Output: token bit vector.
-struct MergeModel {
-  struct State {
-    int tok = 0;
-  };
-  struct Params {
-    int n = 0;
-  };
-  static constexpr bool directed = true;
-  static std::size_t num_states(const Params&) { return 2; }
-  static std::size_t pack(const State& s, const Params&, int) {
-    return static_cast<std::size_t>(s.tok);
-  }
-  static State unpack(std::size_t v, const Params&, int) {
-    return State{static_cast<int>(v)};
-  }
-  static void apply(State& l, State& r, const Params&) {
-    if (l.tok == 1 && r.tok == 1) r.tok = 0;  // merge rightward
-    // A lone token walks: move right so the chain is irreducible.
-    else if (l.tok == 1 && r.tok == 0) {
-      l.tok = 0;
-      r.tok = 1;
-    }
-  }
-};
-
-/// A deliberately broken variant whose zero-token configuration is absorbing
-/// and illegal — the checker must find it.
-struct BrokenModel : MergeModel {
-  static void apply(State& l, State& r, const Params&) {
-    if (l.tok == 1) {
-      l.tok = 0;
-      r.tok = 0;  // tokens leak away
-    }
-  }
-};
-
-int count_tokens(std::span<const MergeModel::State> c) {
-  int k = 0;
-  for (const auto& s : c) k += s.tok;
-  return k;
-}
+using verification::BrokenMergeModel;
+using verification::TokenMergeModel;
 
 TEST(ModelChecker, EnumeratesConfigurations) {
-  ModelChecker<MergeModel> mc({4});
+  ModelChecker<TokenMergeModel> mc({4});
   EXPECT_EQ(mc.num_configurations(), 16u);
 }
 
 TEST(ModelChecker, EncodeDecodeRoundTrip) {
-  ModelChecker<MergeModel> mc({5});
+  ModelChecker<TokenMergeModel> mc({5});
   for (std::uint64_t id = 0; id < mc.num_configurations(); ++id) {
     const auto cfg = mc.decode(id);
     EXPECT_EQ(mc.encode(cfg), id);
@@ -66,10 +26,10 @@ TEST(ModelChecker, EncodeDecodeRoundTrip) {
 }
 
 TEST(ModelChecker, SuccessorAppliesTransition) {
-  ModelChecker<MergeModel> mc({3});
+  ModelChecker<TokenMergeModel> mc({3});
   // Config (1,1,0): arc 0 merges -> (1,0,0)... merge sets r.tok=0: (1,0,0).
-  MergeModel::State a{1}, b{1}, z{0};
-  std::vector<MergeModel::State> cfg{a, b, z};
+  TokenMergeModel::State a{1}, b{1}, z{0};
+  std::vector<TokenMergeModel::State> cfg{a, b, z};
   const auto id = mc.encode(cfg);
   const auto succ = mc.successor(id, 0);
   const auto out = mc.decode(succ);
@@ -82,28 +42,60 @@ TEST(ModelChecker, AcceptsTokenMerging) {
   // Every bottom SCC should consist of exactly-one-token configurations.
   // Note: token *count* is the invariant output here (the token position
   // keeps moving, so the position is not part of the spec output).
-  ModelChecker<MergeModel> mc({4});
+  ModelChecker<TokenMergeModel> mc({4});
   const auto res = mc.check(
-      [](std::span<const MergeModel::State> c, const MergeModel::Params&) {
-        return count_tokens(c);
+      [](std::span<const TokenMergeModel::State> c,
+         const TokenMergeModel::Params&) {
+        return TokenMergeModel::count_tokens(c);
       },
       [](int tokens) { return tokens <= 1; });
-  EXPECT_TRUE(res.ok) << res.reason;
+  EXPECT_TRUE(res.ok) << mc.describe_counterexample(res);
   EXPECT_GT(res.num_bottom_sccs, 0u);
 }
 
-TEST(ModelChecker, RejectsBrokenProtocol) {
-  ModelChecker<BrokenModel> mc({3});
+TEST(ModelChecker, RejectsBrokenProtocolAndDecodesTheCounterexample) {
+  ModelChecker<BrokenMergeModel> mc({3});
   const auto res = mc.check(
-      [](std::span<const BrokenModel::State> c, const BrokenModel::Params&) {
-        return count_tokens(c);
+      [](std::span<const BrokenMergeModel::State> c,
+         const BrokenMergeModel::Params&) {
+        return TokenMergeModel::count_tokens(c);
       },
       [](int tokens) { return tokens == 1; });
   EXPECT_FALSE(res.ok);
   ASSERT_TRUE(res.counterexample.has_value());
   // The counterexample is the absorbing zero-token configuration.
   const auto cfg = mc.decode(*res.counterexample);
-  EXPECT_EQ(count_tokens(cfg), 0);
+  EXPECT_EQ(TokenMergeModel::count_tokens(cfg), 0);
+  // The decoded rendering names every agent's state — the actionable form
+  // (printed by the state_space bench too).
+  const std::string pretty = mc.describe_counterexample(res);
+  EXPECT_NE(pretty.find("bottom SCC with illegal output"), std::string::npos)
+      << pretty;
+  EXPECT_NE(pretty.find("u_0: _"), std::string::npos) << pretty;
+  EXPECT_NE(pretty.find("u_2: _"), std::string::npos) << pretty;
+}
+
+/// TokenMergeModel without a describe(): the rendering must degrade to the
+/// packed per-agent value, never to garbage.
+struct PlainMergeModel {
+  using State = TokenMergeModel::State;
+  using Params = TokenMergeModel::Params;
+  static constexpr bool directed = true;
+  static std::size_t num_states(const Params&) { return 2; }
+  static std::size_t pack(const State& s, const Params&, int) {
+    return static_cast<std::size_t>(s.tok);
+  }
+  static State unpack(std::size_t v, const Params&, int) {
+    return State{static_cast<int>(v)};
+  }
+  static void apply(State&, State&, const Params&) {}
+};
+
+TEST(ModelChecker, DescribeFallsBackToPackedValuesWithoutADescriber) {
+  ModelChecker<PlainMergeModel> mc({2});
+  const auto pretty = mc.describe_configuration(3);  // (1, 1)
+  EXPECT_NE(pretty.find("u_0: q1"), std::string::npos) << pretty;
+  EXPECT_NE(pretty.find("u_1: q1"), std::string::npos) << pretty;
 }
 
 /// 16 states/agent: n = 16 makes per_agent^n = 2^64 overflow uint64; n = 8
@@ -158,12 +150,49 @@ TEST(ModelChecker, Uint32IndexCapacityIsDetectedWithoutAllocating) {
   EXPECT_TRUE(res.capacity_exceeded);
 }
 
+TEST(ModelChecker, CapacityPredicateProbesWithoutConstructing) {
+  // The static probe must agree with what a constructed checker reports —
+  // callers (the checker bench) use it to auto-select the largest
+  // certifiable n before paying for construction.
+  EXPECT_TRUE(ModelChecker<TokenMergeModel>::capacity({4}));
+  EXPECT_TRUE(ModelChecker<WideModel>::capacity({7}));   // 16^7 = 2^28
+  EXPECT_FALSE(ModelChecker<WideModel>::capacity({8}));  // 2^32 > uint32 cap
+  EXPECT_FALSE(ModelChecker<WideModel>::capacity({17}));  // uint64 overflow
+  // Node budgets tighten the headroom precisely.
+  EXPECT_TRUE(ModelChecker<TokenMergeModel>::capacity({10}, 1024));
+  EXPECT_FALSE(ModelChecker<TokenMergeModel>::capacity({11}, 1024));
+  for (int n = 2; n <= 24; ++n) {
+    const bool predicted =
+        ModelChecker<TokenMergeModel>::capacity({n}, 1 << 16);
+    ModelChecker<TokenMergeModel> mc({n}, 1 << 16);
+    EXPECT_EQ(predicted, !mc.capacity_exceeded()) << "n=" << n;
+  }
+}
+
+TEST(ModelChecker, NodeBudgetIsACapacityErrorWithAnExplicitReason) {
+  ModelChecker<TokenMergeModel> mc({12}, 1000);  // 4096 > 1000
+  EXPECT_TRUE(mc.capacity_exceeded());
+  const auto res = mc.check(
+      [](std::span<const TokenMergeModel::State> c,
+         const TokenMergeModel::Params&) {
+        return TokenMergeModel::count_tokens(c);
+      },
+      [](int) { return true; });
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.capacity_exceeded);
+  EXPECT_NE(res.reason.find("node budget"), std::string::npos) << res.reason;
+  // The same space fits without the budget.
+  ModelChecker<TokenMergeModel> wide({12});
+  EXPECT_FALSE(wide.capacity_exceeded());
+}
+
 TEST(ModelChecker, InCapacitySpacesReportNoCapacityError) {
-  ModelChecker<MergeModel> mc({4});
+  ModelChecker<TokenMergeModel> mc({4});
   EXPECT_FALSE(mc.capacity_exceeded());
   const auto res = mc.check(
-      [](std::span<const MergeModel::State> c, const MergeModel::Params&) {
-        return count_tokens(c);
+      [](std::span<const TokenMergeModel::State> c,
+         const TokenMergeModel::Params&) {
+        return TokenMergeModel::count_tokens(c);
       },
       [](int tokens) { return tokens <= 1; });
   EXPECT_TRUE(res.ok);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace ppsim::core {
 namespace {
 
@@ -57,6 +61,93 @@ TEST(SeqBuilders, SeqLMatchesDefinition) {
   EXPECT_EQ(s[0], 0);
   EXPECT_EQ(s[1], 4);
   EXPECT_EQ(s[2], 3);
+}
+
+TEST(ArcEndpoints, DirectedMappingExhaustive) {
+  // Forward arc e_i = (u_i -> u_{i+1 mod n}): the left agent initiates —
+  // the paper's "l is the initiator and r is the responder". Exhaustive at
+  // the sizes the exhaustive checker actually runs.
+  for (int n : {2, 3, 5}) {
+    for (int i = 0; i < n; ++i) {
+      const ArcEndpoints e = arc_endpoints(i, n);
+      EXPECT_EQ(e.initiator, i) << "n=" << n << " arc=" << i;
+      EXPECT_EQ(e.responder, (i + 1) % n) << "n=" << n << " arc=" << i;
+    }
+  }
+}
+
+TEST(ArcEndpoints, UndirectedReversedMappingExhaustive) {
+  // Arc n + i is the orientation flip of e_i: same undirected edge
+  // {u_i, u_{i+1}}, with the *right* agent initiating — the case the
+  // undirected ensemble kernel and the checker's 2n-arc loop both rely on.
+  for (int n : {2, 3, 5}) {
+    for (int i = 0; i < n; ++i) {
+      const ArcEndpoints fwd = arc_endpoints(i, n);
+      const ArcEndpoints rev = arc_endpoints(n + i, n);
+      EXPECT_EQ(rev.initiator, (i + 1) % n) << "n=" << n << " arc=" << n + i;
+      EXPECT_EQ(rev.responder, i) << "n=" << n << " arc=" << n + i;
+      EXPECT_EQ(rev.initiator, fwd.responder);
+      EXPECT_EQ(rev.responder, fwd.initiator);
+    }
+  }
+}
+
+TEST(ArcEndpoints, EveryOrderedNeighborPairAppearsExactlyOnce) {
+  // For n >= 3, the 2n arcs enumerate each ordered adjacent pair exactly
+  // once — no duplicate and no missing interaction in the undirected
+  // scheduler. (n = 2 is a multigraph: e_0 and e_1 are parallel edges, so
+  // each ordered pair appears exactly twice there.)
+  for (int n : {2, 3, 5}) {
+    std::vector<std::pair<int, int>> seen;
+    for (int a = 0; a < 2 * n; ++a) {
+      const ArcEndpoints e = arc_endpoints(a, n);
+      EXPECT_TRUE(ring_distance(e.initiator, e.responder, n) == 1 ||
+                  ring_distance(e.responder, e.initiator, n) == 1);
+      seen.emplace_back(e.initiator, e.responder);
+    }
+    std::sort(seen.begin(), seen.end());
+    const int multiplicity = n == 2 ? 2 : 1;
+    for (auto it = seen.begin(); it != seen.end();) {
+      const auto next = std::find_if(
+          it, seen.end(), [&](const auto& pr) { return pr != *it; });
+      EXPECT_EQ(static_cast<int>(next - it), multiplicity)
+          << "ordered pair (" << it->first << "," << it->second << ") at n="
+          << n;
+      it = next;
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(2 * n));
+  }
+}
+
+TEST(ArcSymmetry, RotationCommutesWithEndpoints) {
+  // Soundness premise of the quotient checker: rotating agent indices maps
+  // the arc set to itself with endpoints rotating along.
+  for (int n : {2, 3, 5}) {
+    for (int a = 0; a < 2 * n; ++a) {
+      for (int delta = 0; delta < n; ++delta) {
+        const ArcEndpoints e = arc_endpoints(a, n);
+        const ArcEndpoints r = arc_endpoints(rotate_arc(a, delta, n), n);
+        EXPECT_EQ(r.initiator, ring_add(e.initiator, delta, n));
+        EXPECT_EQ(r.responder, ring_add(e.responder, delta, n));
+        // Forward arcs stay forward, reversed stay reversed.
+        EXPECT_EQ(rotate_arc(a, delta, n) < n, a < n);
+      }
+    }
+  }
+}
+
+TEST(ArcSymmetry, ReflectionSwapsOrientationsAndCommutesWithEndpoints) {
+  for (int n : {2, 3, 5}) {
+    for (int a = 0; a < 2 * n; ++a) {
+      const int ra = reflect_arc(a, n);
+      EXPECT_EQ(reflect_arc(ra, n), a);  // involution
+      EXPECT_EQ(ra < n, a >= n);         // swaps the two orientations
+      const ArcEndpoints e = arc_endpoints(a, n);
+      const ArcEndpoints r = arc_endpoints(ra, n);
+      EXPECT_EQ(r.initiator, n - 1 - e.initiator);
+      EXPECT_EQ(r.responder, n - 1 - e.responder);
+    }
+  }
 }
 
 TEST(SeqBuilders, ConcatAndRepeat) {

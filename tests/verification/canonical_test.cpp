@@ -1,0 +1,173 @@
+// Canonicalization layer of the quotient checker: Booth's least-rotation
+// algorithm against brute force, reflection composition, periodic subgroup
+// restriction, and orbit accounting against the full product space.
+#include "verification/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ppsim::verification {
+namespace {
+
+std::vector<std::uint16_t> rotated(const std::vector<std::uint16_t>& d,
+                                   std::size_t k) {
+  std::vector<std::uint16_t> out(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) out[i] = d[(k + i) % d.size()];
+  return out;
+}
+
+std::size_t brute_least_rotation(const std::vector<std::uint16_t>& d) {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < d.size(); ++k)
+    if (rotated(d, k) < rotated(d, best)) best = k;
+  return best;
+}
+
+TEST(Booth, MatchesBruteForceOnRandomStrings) {
+  core::Xoshiro256pp rng(7);
+  std::vector<std::int32_t> failure;
+  for (int n : {1, 2, 3, 5, 8, 13, 32}) {
+    for (int alphabet : {2, 3, 48}) {
+      for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint16_t> d(static_cast<std::size_t>(n));
+        for (auto& v : d)
+          v = static_cast<std::uint16_t>(
+              rng.bounded(static_cast<std::uint64_t>(alphabet)));
+        const std::size_t got = least_rotation(d, failure);
+        // Booth may return any index whose rotation is minimal; compare the
+        // rotations, not the indices (ties are legitimate on periodic
+        // strings).
+        EXPECT_EQ(rotated(d, got), rotated(d, brute_least_rotation(d)))
+            << "n=" << n << " alphabet=" << alphabet;
+      }
+    }
+  }
+}
+
+TEST(Canonicalize, InvariantUnderEveryGroupElement) {
+  core::Xoshiro256pp rng(11);
+  CanonicalScratch scratch;
+  for (const bool reflection : {false, true}) {
+    const SymmetryGroup g{6, 1, reflection};
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::uint16_t> d(6);
+      for (auto& v : d) v = static_cast<std::uint16_t>(rng.bounded(3));
+      std::vector<std::uint16_t> canon = d;
+      canonicalize(canon, g, scratch);
+      // Idempotent.
+      std::vector<std::uint16_t> twice = canon;
+      canonicalize(twice, g, scratch);
+      EXPECT_EQ(twice, canon);
+      // Every transform canonicalizes to the same representative.
+      for (std::size_t k = 0; k < 6; ++k) {
+        std::vector<std::uint16_t> t = rotated(d, k);
+        canonicalize(t, g, scratch);
+        EXPECT_EQ(t, canon) << "rotation " << k;
+        if (reflection) {
+          std::vector<std::uint16_t> rev = rotated(d, k);
+          std::reverse(rev.begin(), rev.end());
+          canonicalize(rev, g, scratch);
+          EXPECT_EQ(rev, canon) << "reflected rotation " << k;
+        }
+      }
+      // The representative is itself a member of the orbit, and minimal.
+      bool member = false;
+      for (std::size_t k = 0; k < 6 && !member; ++k)
+        member = canon == rotated(d, k);
+      if (reflection && !member) {
+        std::vector<std::uint16_t> rev = d;
+        std::reverse(rev.begin(), rev.end());
+        for (std::size_t k = 0; k < 6 && !member; ++k)
+          member = canon == rotated(rev, k);
+      }
+      EXPECT_TRUE(member);
+      EXPECT_LE(canon, d);
+    }
+  }
+}
+
+TEST(Canonicalize, PeriodicSubgroupOnlyUsesMultiplesOfThePeriod) {
+  // rotation_period 2 on n = 6: the orbit of d is {d, rot_2(d), rot_4(d)};
+  // rot_1(d) generally lands in a *different* orbit and must keep a
+  // different representative.
+  CanonicalScratch scratch;
+  const SymmetryGroup g{6, 2, false};
+  const std::vector<std::uint16_t> d{2, 0, 1, 0, 1, 0};
+  std::vector<std::uint16_t> canon = d;
+  canonicalize(canon, g, scratch);
+  for (std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    std::vector<std::uint16_t> t = rotated(d, k);
+    canonicalize(t, g, scratch);
+    EXPECT_EQ(t, canon);
+  }
+  std::vector<std::uint16_t> odd = rotated(d, 1);
+  canonicalize(odd, g, scratch);
+  EXPECT_NE(odd, canon);  // (0,1,0,1,0,2) starts lower than any even shift
+}
+
+/// Necklace / bracelet counting: orbits of the canonicalization partition
+/// the full digit space, and the orbit sizes sum back to alphabet^n. Known
+/// counts: binary necklaces N(2,n) for n = 2..5 are 3, 4, 6, 8; binary
+/// bracelets B(2,n) are 3, 4, 6, 8 (identical up to n = 5).
+TEST(Canonicalize, OrbitSizesPartitionTheFullSpace) {
+  CanonicalScratch scratch;
+  const int expected_necklaces[] = {0, 0, 3, 4, 6, 8};
+  for (int n = 2; n <= 5; ++n) {
+    for (const bool reflection : {false, true}) {
+      const SymmetryGroup g{n, 1, reflection};
+      std::uint64_t total = 0;
+      std::uint64_t orbits = 0;
+      const std::uint64_t space = 1ULL << n;
+      for (std::uint64_t id = 0; id < space; ++id) {
+        std::vector<std::uint16_t> d(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+          d[static_cast<std::size_t>(i)] =
+              static_cast<std::uint16_t>((id >> i) & 1);
+        std::vector<std::uint16_t> canon = d;
+        canonicalize(canon, g, scratch);
+        if (canon != d) continue;  // not the representative
+        ++orbits;
+        total += orbit_size(d, g);
+      }
+      EXPECT_EQ(total, space) << "n=" << n << " reflection=" << reflection;
+      EXPECT_EQ(orbits,
+                static_cast<std::uint64_t>(expected_necklaces[n]))
+          << "n=" << n << " reflection=" << reflection;
+    }
+  }
+}
+
+TEST(OrbitSize, MatchesDirectEnumeration) {
+  core::Xoshiro256pp rng(13);
+  for (int n : {3, 4, 6}) {
+    for (const bool reflection : {false, true}) {
+      const SymmetryGroup g{n, 1, reflection};
+      for (int trial = 0; trial < 100; ++trial) {
+        std::vector<std::uint16_t> d(static_cast<std::size_t>(n));
+        for (auto& v : d) v = static_cast<std::uint16_t>(rng.bounded(2));
+        std::vector<std::vector<std::uint16_t>> seen;
+        for (std::size_t k = 0; k < static_cast<std::size_t>(n); ++k) {
+          seen.push_back(rotated(d, k));
+          if (reflection) {
+            auto rev = rotated(d, k);
+            std::reverse(rev.begin(), rev.end());
+            seen.push_back(rev);
+          }
+        }
+        std::sort(seen.begin(), seen.end());
+        seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+        EXPECT_EQ(orbit_size(d, g), seen.size())
+            << "n=" << n << " reflection=" << reflection;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppsim::verification
