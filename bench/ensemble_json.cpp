@@ -5,8 +5,16 @@
 // per cell). Both paths execute bit-identical per-ring trajectories (the
 // ensemble contract, tests/core/ensemble_test.cpp), so this measures pure
 // engine overhead: per-trial dispatch + construction versus the ensemble's
-// blocked per-ring hot loop (and, where a protocol qualifies, its
-// packed-state transition table — see core/ensemble.hpp).
+// blocked per-ring hot loop and, where a protocol qualifies, its
+// accelerated lane — the packed-state transition LUT (modk) or the
+// word-packed SIMD kernel lane (P_PL, cross-ring lockstep) — see
+// core/ensemble.hpp.
+//
+// The per-trial reference is pinned to the *scalar* Runner engine
+// (force_scalar_path): that is the engine every previous
+// BENCH_ensemble.json point measured, so the longitudinal speedup cells
+// stay comparable across PRs; each row's `ensemble_engine` field records
+// which lane (lut / word / generic) produced the ensemble number.
 //
 // Writes BENCH_ensemble.json (schema documented in README.md) so the
 // campaign-engine trajectory is tracked next to BENCH_throughput.json and
@@ -44,6 +52,7 @@ struct Row {
   int trials = 0;
   std::uint64_t steps_per_ring = 0;
   std::size_t state_bytes = 0;
+  std::string ensemble_engine;
   double per_trial_ips = 0.0;
   double ensemble_ips = 0.0;
 
@@ -101,6 +110,7 @@ Row measure_cell(const char* name, const typename P::Params& params,
         for (int t = 0; t < trials; ++t) {
           core::Runner<P> runner(params, inits[static_cast<std::size_t>(t)],
                                  seeds[static_cast<std::size_t>(t)]);
+          runner.force_scalar_path();  // the per-trial engine of record
           runner.run(steps_per_ring);
         }
       },
@@ -114,6 +124,14 @@ Row measure_cell(const char* name, const typename P::Params& params,
         ensemble.run(steps_per_ring);
       },
       total, repeats);
+  {
+    core::EnsembleRunner<P> probe(params, 1);
+    probe.add_ring(inits[0], seeds[0]);
+    row.ensemble_engine = probe.packed_mode()
+                              ? "lut"
+                              : (probe.word_kernel_mode() ? "word"
+                                                          : "generic");
+  }
   return row;
 }
 
@@ -160,11 +178,12 @@ int main() {
     }
   }
 
-  core::Table t({"protocol", "n", "trials", "per-trial M/s", "ensemble M/s",
-                 "speedup"});
+  core::Table t({"protocol", "n", "trials", "engine", "per-trial M/s",
+                 "ensemble M/s", "speedup"});
   for (const Row& r : rows) {
     t.add_row({r.protocol, core::fmt_u64(static_cast<unsigned long long>(r.n)),
                core::fmt_u64(static_cast<unsigned long long>(r.trials)),
+               r.ensemble_engine,
                core::fmt_double(r.per_trial_ips / 1e6, 4),
                core::fmt_double(r.ensemble_ips / 1e6, 4),
                core::fmt_double(r.speedup(), 3)});
@@ -180,7 +199,7 @@ int main() {
   bench::JsonWriter w(f);
   w.begin_object();
   w.field("bench", "ensemble");
-  w.field("schema_version", 1);
+  w.field("schema_version", 2);
   w.field("unit", "interactions_per_second");
   w.field("steps_per_measurement", steps_total);
   w.field("repeats", repeats);
@@ -194,6 +213,7 @@ int main() {
     w.field("trials", r.trials);
     w.field("steps_per_ring", r.steps_per_ring);
     w.field("state_bytes", static_cast<std::uint64_t>(r.state_bytes));
+    w.field("ensemble_engine", r.ensemble_engine);
     w.field("per_trial_ips", r.per_trial_ips);
     w.field("ensemble_ips", r.ensemble_ips);
     w.field("speedup", r.speedup());

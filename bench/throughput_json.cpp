@@ -1,7 +1,16 @@
 // E18 — engine throughput trajectory: interactions/sec of the batched fast
-// path (Runner::run) versus the unbatched reference path
-// (Runner::run_unbatched, the pre-batching engine) measured in this same
-// binary, for the four runnable Table-1 protocols at n in {64, 1024, 16384}.
+// path (Runner::run pinned to the scalar engine), the unbatched reference
+// path (Runner::run_unbatched, the pre-batching engine), and — for
+// protocols with a word-packed kernel (P_PL, src/pl/packed_protocol.hpp) —
+// the packed path (Runner::run's word-kernel dispatch), all measured in
+// this same binary for the four runnable Table-1 protocols at
+// n in {64, 1024, 16384}.
+//
+// Column semantics: `batched_ips` is Runner::run with force_scalar_path(),
+// i.e. exactly the engine every previous BENCH_throughput.json point
+// measured, so the longitudinal `speedup` cell stays comparable across
+// PRs; `packed_ips`/`packed_speedup` (packed vs scalar batched) are the
+// new word-kernel cells, 0 for protocols without a kernel.
 //
 // Writes BENCH_throughput.json (schema documented in README.md) so the perf
 // trajectory of the simulation engine is tracked from PR 1 onward. Knobs:
@@ -35,9 +44,14 @@ struct Row {
   std::size_t state_bytes = 0;
   double unbatched_ips = 0.0;
   double batched_ips = 0.0;
+  double packed_ips = 0.0;  ///< word-kernel path; 0 = no kernel
+  bool has_packed = false;
 
   [[nodiscard]] double speedup() const {
     return unbatched_ips > 0.0 ? batched_ips / unbatched_ips : 0.0;
+  }
+  [[nodiscard]] double packed_speedup() const {
+    return has_packed && batched_ips > 0.0 ? packed_ips / batched_ips : 0.0;
   }
 };
 
@@ -75,13 +89,23 @@ Row measure_protocol(const char* name, const typename P::Params& params,
   // configuration first.
   {
     core::Runner<P> runner = warmed;
+    runner.force_scalar_path();
     row.unbatched_ips = measure_ips(
         [&](std::uint64_t k) { runner.run_unbatched(k); }, steps, repeats);
   }
   {
     core::Runner<P> runner = warmed;
+    runner.force_scalar_path();  // the scalar batched engine of record
     row.batched_ips =
         measure_ips([&](std::uint64_t k) { runner.run(k); }, steps, repeats);
+  }
+  if constexpr (core::Runner<P>::kWordKernel) {
+    core::Runner<P> runner = warmed;
+    if (runner.word_path_active()) {
+      row.has_packed = true;
+      row.packed_ips = measure_ips(
+          [&](std::uint64_t k) { runner.run(k); }, steps, repeats);
+    }
   }
   return row;
 }
@@ -127,12 +151,15 @@ int main() {
     }
   }
 
-  core::Table t({"protocol", "n", "unbatched M/s", "batched M/s", "speedup"});
+  core::Table t({"protocol", "n", "unbatched M/s", "batched M/s", "speedup",
+                 "packed M/s", "packed speedup"});
   for (const Row& r : rows) {
     t.add_row({r.protocol, core::fmt_u64(static_cast<unsigned long long>(r.n)),
                core::fmt_double(r.unbatched_ips / 1e6, 4),
                core::fmt_double(r.batched_ips / 1e6, 4),
-               core::fmt_double(r.speedup(), 3)});
+               core::fmt_double(r.speedup(), 3),
+               r.has_packed ? core::fmt_double(r.packed_ips / 1e6, 4) : "-",
+               r.has_packed ? core::fmt_double(r.packed_speedup(), 3) : "-"});
   }
   t.print(std::cout);
 
@@ -145,7 +172,7 @@ int main() {
   bench::JsonWriter w(f);
   w.begin_object();
   w.field("bench", "throughput");
-  w.field("schema_version", 1);
+  w.field("schema_version", 2);
   w.field("unit", "interactions_per_second");
   w.field("steps_per_measurement", steps);
   w.field("repeats", repeats);
@@ -159,6 +186,8 @@ int main() {
     w.field("unbatched_ips", r.unbatched_ips);
     w.field("batched_ips", r.batched_ips);
     w.field("speedup", r.speedup());
+    w.field("packed_ips", r.packed_ips);
+    w.field("packed_speedup", r.packed_speedup());
     w.end_object();
   }
   w.end_array();

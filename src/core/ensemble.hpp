@@ -46,6 +46,15 @@
 // measure_recovery shard their trials into ensembles without changing a
 // single published number.
 //
+// The third engine lane is the *word-kernel lane* (core::HasWordKernel —
+// P_PL): protocols whose state space is far too large for the LUT but
+// whose whole variable block bit-slices into one uint64_t run the shared
+// branchless SIMD kernel (core::WordGroupDriver) on a u64 mirror, with the
+// same lazy materialization, delta census and round-trip fallback contract
+// the LUT lane has. run(k) advances rings in *cross-ring lockstep* — one
+// SIMD lane per ring, no disjointness proofs, effective at any n — and
+// run_until_each batches the rings still owed a full check_every block.
+//
 // run_until_each mirrors Runner::run_until per ring (pre-check, then blocks
 // of check_every against a per-ring deadline); converged or timed-out rings
 // retire from a compacted active index array so a few slow rings never pay
@@ -96,6 +105,17 @@ class EnsembleRunner {
   static constexpr bool kPackable = HasPackedStates<P> && !WantsOracle<P> &&
                                     std::equality_comparable<State>;
 
+  /// Word-kernel mode (the *kernel lane*): protocols exposing a 64-bit
+  /// bit-sliced transition kernel (core::HasWordKernel — P_PL) whose state
+  /// space is far too large for the pair-transition LUT. The hot loop runs
+  /// apply_word on a u64 mirror with the same lazy State materialization,
+  /// delta census and fallback contract the LUT lane has: any state that
+  /// fails the pack/unpack round trip (out of the declared domain) drops
+  /// the ensemble to the generic path, never to a wrong trajectory.
+  static constexpr bool kWordable = WordKernelRunnable<P>;
+  using WordLayout = typename detail::WordLayoutOf<P>::type;
+  using WordConsts = typename detail::WordConstsOf<P>::type;
+
   /// Pair-space cap for the transition table: 2^16 pairs = 512 KiB of
   /// entries. Above that the table thrashes the cache and the branchy
   /// transition wins again.
@@ -113,6 +133,15 @@ class EnsembleRunner {
       rngs_.reserve(r);
     }
     if constexpr (kPackable) build_lut();
+    if constexpr (kWordable) {
+      if (!lut_active_) {
+        layout_ = P::word_layout(params_);
+        // Same bit-0 leader probe as Runner (see its constructor).
+        word_active_ = layout_.fits() && P::word_leader(1, layout_) &&
+                       !P::word_leader(0, layout_);
+        if (word_active_) consts_ = P::make_word_consts(layout_);
+      }
+    }
   }
 
   /// Append one ring initialized from `initial`, seeded exactly like
@@ -139,6 +168,18 @@ class EnsembleRunner {
         }
       }
     }
+    if constexpr (kWordable) {
+      if (word_active_) {
+        for (const State& s : initial) {
+          const std::uint64_t w = P::pack_word(s, layout_);
+          if (!(P::unpack_word(w, layout_) == s)) {
+            deactivate_word();  // out-of-domain state: generic path, forever
+            break;
+          }
+          words_.push_back(w);
+        }
+      }
+    }
     return static_cast<int>(clocks_.size()) - 1;
   }
 
@@ -152,6 +193,13 @@ class EnsembleRunner {
   /// (introspection for tests and benches; trajectories are identical either
   /// way).
   [[nodiscard]] bool packed_mode() const noexcept { return lut_active_; }
+
+  /// True while the word-packed kernel lane drives the hot loop (P_PL's
+  /// bit-sliced apply_word; introspection only — trajectories are identical
+  /// to the generic path).
+  [[nodiscard]] bool word_kernel_mode() const noexcept {
+    return word_active_;
+  }
 
   [[nodiscard]] std::span<const State> agents(int r) const {
     sync_ring(check_ring(r));
@@ -179,13 +227,17 @@ class EnsembleRunner {
     for (RingClock& c : clocks_) c.oracle_delay = d;
   }
 
-  /// Permanently leave the packed-state mode (no-op when already generic):
-  /// every subsequent interaction goes through the shared InteractionEngine
-  /// fast path. Trajectories are bit-identical either way — this exists so
-  /// the differential fuzz harness (src/verification/differential.hpp) can
-  /// drive the generic and packed kernels side by side on protocols where
-  /// the table would otherwise always win.
-  void force_generic_path() { deactivate_lut(); }
+  /// Permanently leave every accelerated mode (LUT and word kernel; no-op
+  /// when already generic): every subsequent interaction goes through the
+  /// shared InteractionEngine fast path. Trajectories are bit-identical
+  /// either way — this exists so the differential fuzz harness
+  /// (src/verification/differential.hpp) can drive the generic and
+  /// accelerated kernels side by side on protocols where the accelerator
+  /// would otherwise always win.
+  void force_generic_path() {
+    deactivate_lut();
+    deactivate_word();
+  }
 
   /// Fault injection into ring r, delta-census, identical to
   /// Runner::set_agent. In packed mode the injected state must round-trip
@@ -208,10 +260,34 @@ class EnsembleRunner {
         }
       }
     }
+    if constexpr (kWordable) {
+      if (word_active_) {
+        const std::uint64_t w = P::pack_word(s, layout_);
+        if (!(P::unpack_word(w, layout_) == s)) {
+          deactivate_word();
+        } else {
+          words_[slot] = w;
+        }
+      }
+    }
   }
 
-  /// Advance every ring `k` interactions (each through its own stream).
+  /// Advance every ring `k` interactions (each through its own stream). In
+  /// word-kernel mode the rings advance in lockstep — one SIMD lane per
+  /// ring (WordGroupDriver::run_rings_block); per-ring trajectories are
+  /// bit-identical to per-ring advancement, rings share nothing.
   void run(std::uint64_t k) {
+    if constexpr (kWordable) {
+      if (word_active_ && k > 0 && ring_count() > 0) {
+        // Reusable [0, ring_count) index list — grown, never shrunk, so
+        // campaigns interleaving many small run(k) blocks with faults pay
+        // no per-call allocation.
+        while (static_cast<int>(all_rings_.size()) < ring_count())
+          all_rings_.push_back(static_cast<int>(all_rings_.size()));
+        advance_rings_word(all_rings_, ring_count(), k);
+        return;
+      }
+    }
     for (int r = 0; r < ring_count(); ++r) advance_ring(r, k);
   }
 
@@ -263,14 +339,40 @@ class EnsembleRunner {
     }
     rings.resize(w);
 
+    [[maybe_unused]] std::vector<int> batch;  // word lane: full-size blocks
     while (!rings.empty()) {
       // One pass: advance every active ring by min(check_every, remaining)
-      // interactions, check, retire, compact.
+      // interactions, check, retire, compact. In word-kernel mode the rings
+      // still owed a full check_every block (the common case away from
+      // deadlines) advance in one cross-ring lockstep batch; everything
+      // else goes through the one shared per-ring loop.
+      bool advanced = false;
+      if constexpr (kWordable) {
+        if (word_active_) {
+          batch.clear();
+          for (int r : rings) {
+            const auto ri = static_cast<std::size_t>(r);
+            if (deadline[ri] - clocks_[ri].steps >= check_every)
+              batch.push_back(r);
+            else
+              advance_ring(r, deadline[ri] - clocks_[ri].steps);
+          }
+          if (!batch.empty())
+            advance_rings_word(batch, static_cast<int>(batch.size()),
+                               check_every);
+          advanced = true;
+        }
+      }
+      if (!advanced) {
+        for (int r : rings) {
+          const auto ri = static_cast<std::size_t>(r);
+          advance_ring(r, std::min<std::uint64_t>(
+                              check_every, deadline[ri] - clocks_[ri].steps));
+        }
+      }
       w = 0;
       for (int r : rings) {
         const auto ri = static_cast<std::size_t>(r);
-        advance_ring(r, std::min<std::uint64_t>(
-                            check_every, deadline[ri] - clocks_[ri].steps));
         if (pred(agents(r), params_)) {
           hits[ri] = clocks_[ri].steps;
           continue;
@@ -378,17 +480,42 @@ class EnsembleRunner {
     packed_.shrink_to_fit();
   }
 
-  /// Materialize ring r's State block from the packed mirror if stale.
+  /// Leave the word-kernel lane permanently, same contract as
+  /// deactivate_lut.
+  void deactivate_word() {
+    for (int r = 0; r < ring_count(); ++r) sync_ring(r);
+    word_active_ = false;
+    words_.clear();
+    words_.shrink_to_fit();
+  }
+
+  /// Materialize ring r's State block from the active accelerator mirror if
+  /// stale. dirty_ is only ever set by the accelerator hot loops, so at most
+  /// one mirror can be the stale ring's source of truth.
   void sync_ring(int r) const {
-    if constexpr (kPackable) {
+    if constexpr (kPackable || kWordable) {
       const auto ri = static_cast<std::size_t>(r);
       if (!dirty_[ri]) return;
       const std::size_t off = ring_offset(r);
-      for (int i = 0; i < params_.n; ++i) {
-        states_[off + static_cast<std::size_t>(i)] = P::unpack_state(
-            packed_[off + static_cast<std::size_t>(i)], params_);
+      if constexpr (kPackable) {
+        if (lut_active_) {
+          for (int i = 0; i < params_.n; ++i) {
+            states_[off + static_cast<std::size_t>(i)] = P::unpack_state(
+                packed_[off + static_cast<std::size_t>(i)], params_);
+          }
+          dirty_[ri] = 0;
+          return;
+        }
       }
-      dirty_[ri] = 0;
+      if constexpr (kWordable) {
+        if (word_active_) {
+          for (int i = 0; i < params_.n; ++i) {
+            states_[off + static_cast<std::size_t>(i)] = P::unpack_word(
+                words_[off + static_cast<std::size_t>(i)], layout_);
+          }
+          dirty_[ri] = 0;
+        }
+      }
     }
   }
 
@@ -400,21 +527,42 @@ class EnsembleRunner {
         return;
       }
     }
+    if constexpr (kWordable) {
+      if (word_active_) {
+        advance_ring_word(r, k);
+        return;
+      }
+    }
     advance_ring_generic(r, k);
   }
 
   /// Generic block: the shared InteractionEngine fast path, with the ring's
   /// RNG and clock in locals for the duration of the block (the compiler
   /// keeps them in registers; through the arrays they reload every step).
-  void advance_ring_generic(int r, std::uint64_t k) {
+  /// [[gnu::flatten]] pins the full inlining of apply_arc_batched and the
+  /// RNG into this block regardless of translation-unit size: in a TU that
+  /// instantiates several protocols' engines (bench/ensemble_json.cpp),
+  /// GCC's unit-growth budget otherwise stops inlining here and the
+  /// ensemble lane measures ~0.75x of the per-trial Runner while the
+  /// stand-alone instantiation measures ~1.05x — the PR-3
+  /// BENCH_ensemble.json yokota28 regression was exactly this artifact.
+  [[gnu::flatten]] void advance_ring_generic(int r, std::uint64_t k) {
     State* const agents = states_.data() + ring_offset(r);
     const auto ri = static_cast<std::size_t>(r);
+    // bound_/threshold_ hoisted into locals for the same reason rng/clk are:
+    // the loop's byte-sized state stores may alias *this under the strict
+    // aliasing rules (unsigned char writes alias everything), so the
+    // member loads would otherwise be re-issued every iteration — measured
+    // as the per-trial-Runner-vs-ensemble gap on yokota28 (README.md,
+    // BENCH_ensemble.json).
+    const std::uint64_t bound = bound_;
+    const std::uint64_t threshold = threshold_;
     Xoshiro256pp rng = rngs_[ri];
     RingClock clk = clocks_[ri];
     for (std::uint64_t i = 0; i < k; ++i) {
       Engine::apply_arc_batched(
           agents,
-          static_cast<int>(rng.bounded_with_threshold(bound_, threshold_)),
+          static_cast<int>(rng.bounded_with_threshold(bound, threshold)),
           params_, clk);
     }
     rngs_[ri] = rng;
@@ -425,19 +573,21 @@ class EnsembleRunner {
   /// census updates replay exactly what census_after computes (the deltas
   /// were precomputed by it, entry by entry). States go stale until the next
   /// sync_ring.
-  void advance_ring_packed(int r, std::uint64_t k)
+  [[gnu::flatten]] void advance_ring_packed(int r, std::uint64_t k)
     requires(kPackable)
   {
     const auto ri = static_cast<std::size_t>(r);
     std::uint16_t* const packed = packed_.data() + ring_offset(r);
     const LutEntry* const lut = lut_.data();
     const std::size_t S = lut_states_;
+    const std::uint64_t bound = bound_;
+    const std::uint64_t threshold = threshold_;
     Xoshiro256pp rng = rngs_[ri];
     RingClock clk = clocks_[ri];
     const int n = params_.n;
     for (std::uint64_t i = 0; i < k; ++i) {
       const int arc =
-          static_cast<int>(rng.bounded_with_threshold(bound_, threshold_));
+          static_cast<int>(rng.bounded_with_threshold(bound, threshold));
       const ArcEndpoints e = arc_endpoints(arc, n);
       const std::size_t pa = packed[e.initiator];
       const std::size_t pb = packed[e.responder];
@@ -461,6 +611,37 @@ class EnsembleRunner {
     dirty_[ri] = 1;
   }
 
+  /// Kernel-lane block: the shared grouped word-kernel driver on this
+  /// ring's slice of the u64 mirror — literally the same code path as
+  /// Runner::run's word lane (WordGroupDriver), so per-ring bit-identity
+  /// between the engines is by construction. States go stale until the
+  /// next sync_ring.
+  void advance_ring_word(int r, std::uint64_t k)
+    requires(kWordable)
+  {
+    const auto ri = static_cast<std::size_t>(r);
+    WordGroupDriver<P>::run_block(words_.data() + ring_offset(r), params_.n,
+                                  bound_, threshold_, rngs_[ri], clocks_[ri],
+                                  consts_, k);
+    dirty_[ri] = 1;
+  }
+
+  /// Cross-ring lockstep: every listed ring advances `k` interactions with
+  /// one SIMD lane per ring (no disjointness proofs — rings share
+  /// nothing). Bit-identical per ring to advance_ring_word.
+  void advance_rings_word(const std::vector<int>& rings, int nrings,
+                          std::uint64_t k)
+    requires(kWordable)
+  {
+    WordGroupDriver<P>::run_rings_block(
+        words_.data(), static_cast<std::size_t>(params_.n), rings.data(),
+        nrings, params_.n, bound_, threshold_, rngs_.data(), clocks_.data(),
+        consts_, k);
+    for (int i = 0; i < nrings; ++i)
+      dirty_[static_cast<std::size_t>(
+          rings[static_cast<std::size_t>(i)])] = 1;
+  }
+
   Params params_;
   std::uint64_t bound_;
   std::uint64_t threshold_;
@@ -476,6 +657,11 @@ class EnsembleRunner {
   std::vector<std::uint16_t> packed_;  ///< u16 mirror of states_, same layout
   std::size_t lut_states_ = 0;
   bool lut_active_ = false;
+  WordLayout layout_{};             ///< valid only in word-kernel mode
+  WordConsts consts_{};             ///< kernel constants (word-kernel mode)
+  std::vector<std::uint64_t> words_;  ///< u64 mirror of states_, same layout
+  std::vector<int> all_rings_;      ///< reusable [0, ring_count) id list
+  bool word_active_ = false;        ///< word-kernel lane drives the hot loop
 };
 
 /// Mutable view of one *running* ring — the engine-agnostic surface fault

@@ -51,10 +51,19 @@
 // block) execute literally the same code per interaction — per-ring
 // bit-identity between the two engines is by construction, then pinned by
 // tests/core/ensemble_test.cpp.
+//
+// Protocols with a word-packed kernel (HasWordKernel — P_PL) get a third
+// path: run(k) dispatches to the branchless bit-sliced kernel over a
+// lazily materialized u64 mirror through the shared WordGroupDriver
+// (grouped SIMD execution of scheduler-disjoint interactions; ISA
+// dispatched at runtime), bit-identical to the scalar paths and certified
+// so by the differential fuzz matrix. See the README's "Word-packed P_PL
+// fast path" for the design and the measured trajectory.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
+#include <concepts>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -66,6 +75,13 @@
 
 #include "core/ring.hpp"
 #include "core/rng.hpp"
+#include "core/wordlane.hpp"
+
+// The wide vector helpers below pass/return 32- and 64-byte vectors whose
+// calling convention depends on the ISA; every such function is
+// force-inlined, so no standalone symbol's ABI ever materializes.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
 
 namespace ppsim::core {
 
@@ -97,6 +113,78 @@ concept WantsOracle =
              const typename P::Params& p, const InteractionContext& ctx) {
       P::apply(a, b, p, ctx);
     };
+
+/// Protocols exposing a 64-bit word-packed transition kernel (P_PL,
+/// src/pl/packed_protocol.hpp): a parameter-derived bit layout
+/// (`word_layout`, with a `fits()` capacity probe), a pack/unpack pair that
+/// is a bijection on the protocol's declared per-field domain and *fails to
+/// round-trip* on anything outside it (the engines' acceptance test), a
+/// transition `apply_word` bit-identical to `apply` on in-domain states, and
+/// the leader output read straight off the word — the engines' grouped
+/// driver requires word_leader to BE bit 0 of the word (it probes exactly
+/// that at activation and keeps the scalar path otherwise, so a layout
+/// with the leader flag elsewhere degrades, never corrupts). This is the
+/// accelerator for
+/// protocols whose state space is far too large for EnsembleRunner's
+/// pair-transition LUT (P_PL at default parameters packs into ~45-51 bits,
+/// i.e. ~2^45 states against the LUT's 2^16-pair budget) but whose per-agent
+/// variable block still fits one machine word — the direct payoff of the
+/// paper's poly-logarithmic state bound.
+template <typename P>
+concept HasWordKernel =
+    requires(const typename P::Params& p, const typename P::State& s,
+             const typename P::WordLayout& lay,
+             const typename P::WordKernelConsts& kc, std::uint64_t& w,
+             WordVec& v, WordVec8& v8) {
+      { P::word_layout(p) } -> std::convertible_to<typename P::WordLayout>;
+      { lay.fits() } -> std::convertible_to<bool>;
+      { P::pack_word(s, lay) } -> std::convertible_to<std::uint64_t>;
+      { P::unpack_word(w, lay) } -> std::same_as<typename P::State>;
+      { P::word_leader(w, lay) } -> std::convertible_to<bool>;
+      P::apply_word(w, w, lay);
+      {
+        P::make_word_consts(lay)
+      } -> std::convertible_to<typename P::WordKernelConsts>;
+      P::apply_word_one(w, w, kc);
+      P::apply_word_x4(v, v, kc);
+      P::apply_word_x8(v8, v8, kc);
+    };
+
+/// A word kernel is runnable by Runner/EnsembleRunner when the protocol
+/// takes no oracle input (the kernel sees only the two words), has no token
+/// census (the kernel exposes only the leader output; P_PL's leader-only
+/// census is exactly this shape) and states are equality-comparable (the
+/// round-trip acceptance test).
+template <typename P>
+concept WordKernelRunnable =
+    HasWordKernel<P> && !WantsOracle<P> && !HasTokenCensus<P> &&
+    std::equality_comparable<typename P::State>;
+
+namespace detail {
+/// Storage types for the word layout / kernel constants: the protocol's
+/// types when it has a word kernel, empty placeholders otherwise (so
+/// engines can declare the members unconditionally).
+template <typename P>
+struct WordLayoutOf {
+  struct Empty {};
+  using type = Empty;
+};
+template <typename P>
+  requires HasWordKernel<P>
+struct WordLayoutOf<P> {
+  using type = typename P::WordLayout;
+};
+template <typename P>
+struct WordConstsOf {
+  struct Empty {};
+  using type = Empty;
+};
+template <typename P>
+  requires HasWordKernel<P>
+struct WordConstsOf<P> {
+  using type = typename P::WordKernelConsts;
+};
+}  // namespace detail
 
 /// Per-ring scheduler bookkeeping: step counter, incremental leader/token
 /// census, the Omega? leaderless clock and the oracle delay. One per Runner;
@@ -290,6 +378,391 @@ struct InteractionEngine {
   }
 };
 
+/// The blocked hot loop of the word-kernel engine lane, shared by Runner
+/// (one ring) and EnsembleRunner (per ring) so the two frontends cannot
+/// drift. Per group of kWordLanes scheduler draws it proves the agent
+/// pairs disjoint (a ~2% event at n = 1024, ~0.1% at 16384) and then runs
+/// the protocol's branchless vector kernel on all four interactions at
+/// once — legal because disjoint interactions commute state-wise, and the
+/// RNG draw order is untouched, so the trajectory is bit-identical to the
+/// one-at-a-time scalar path (conflicting groups and the k % 4 tail take
+/// exactly that path via apply_word_one).
+///
+/// Census: only the leader bit matters (WordKernelRunnable excludes token
+/// censuses), and when no word in the group changed its leader bit the
+/// whole census update is a provable no-op (leader_count unchanged, and
+/// the RingClock invariant "leader_count == 0 iff leaderless_since is set"
+/// makes the leaderless bookkeeping idempotent) — the common case once
+/// converged. Otherwise the four updates replay sequentially in draw
+/// order, reproducing census_after step for step.
+///
+/// The vector kernel body is compiled twice on x86-64 — once for the
+/// baseline ISA, once under target("avx2") — and dispatched once per
+/// process via __builtin_cpu_supports, so the packaged binary needs no
+/// special -m flags and still uses 4-wide execution where the hardware
+/// has it.
+template <typename P>
+  requires WordKernelRunnable<P>
+struct WordGroupDriver {
+  using Consts = typename P::WordKernelConsts;
+
+  /// 2 = AVX-512 (F+DQ+BW+VL, the clones' target set), 1 = AVX2,
+  /// 0 = baseline. Probed once per process.
+  [[nodiscard]] static int isa_level() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    static const int kIsa =
+        (__builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0)  ? 2
+        : __builtin_cpu_supports("avx2") != 0 ? 1
+                                              : 0;
+    return kIsa;
+#else
+    return 0;
+#endif
+  }
+
+  static void run_block(std::uint64_t* words, int n, std::uint64_t bound,
+                        std::uint64_t threshold, Xoshiro256pp& rng,
+                        RingClock& clk, const Consts& kc, std::uint64_t k) {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    const int isa = isa_level();
+    if (isa == 2) {
+      run_avx512(words, n, bound, threshold, rng, clk, kc, k);
+      return;
+    }
+    if (isa == 1) {
+      run_avx2(words, n, bound, threshold, rng, clk, kc, k);
+      return;
+    }
+#endif
+    run_base(words, n, bound, threshold, rng, clk, kc, k);
+  }
+
+ private:
+  /// Leader-census delta for one interaction's before/after words; only a
+  /// changed leader bit has any effect (the no-change case is a no-op by
+  /// the RingClock invariant). `step` is the interaction's 0-based index —
+  /// cross-ring blocks keep clk.steps frozen until the block ends, so the
+  /// current step rides as an argument.
+  [[gnu::always_inline]] static inline void census_leader_change(
+      std::uint64_t oa, std::uint64_t ob, std::uint64_t wa, std::uint64_t wb,
+      RingClock& clk, std::uint64_t step) noexcept {
+    if constexpr (HasLeaderOutput<P>) {
+      if ((((wa ^ oa) | (wb ^ ob)) & 1) != 0) {
+        clk.leader_count += static_cast<int>(wa & 1) -
+                            static_cast<int>(oa & 1) +
+                            static_cast<int>(wb & 1) -
+                            static_cast<int>(ob & 1);
+        clk.last_leader_change = step + 1;
+        if (clk.leader_count > 0) {
+          clk.leaderless_since = RingClock::npos;
+        } else if (clk.leaderless_since == RingClock::npos) {
+          clk.leaderless_since = step + 1;
+        }
+      }
+    }
+  }
+
+  [[gnu::always_inline]] static inline void step_one(std::uint64_t* words,
+                                                     int i, int j,
+                                                     const Consts& kc,
+                                                     RingClock& clk) {
+    std::uint64_t wa = words[i];
+    std::uint64_t wb = words[j];
+    const std::uint64_t oa = wa;
+    const std::uint64_t ob = wb;
+    P::apply_word_one(wa, wb, kc);
+    words[i] = wa;
+    words[j] = wb;
+    census_leader_change(oa, ob, wa, wb, clk, clk.steps);
+    ++clk.steps;
+  }
+
+  /// Gather/scatter one group's operand words (G = lanes of VW).
+  template <typename VW>
+  [[gnu::always_inline]] static inline VW gather(const std::uint64_t* words,
+                                                 const int* idx) {
+    if constexpr (kLanesOf<VW> == 4) {
+      return VW{words[idx[0]], words[idx[1]], words[idx[2]], words[idx[3]]};
+    } else {
+      return VW{words[idx[0]], words[idx[1]], words[idx[2]], words[idx[3]],
+                words[idx[4]], words[idx[5]], words[idx[6]], words[idx[7]]};
+    }
+  }
+  template <typename VW>
+  [[gnu::always_inline]] static inline void scatter(std::uint64_t* words,
+                                                    const int* idx,
+                                                    const VW& v) {
+    for (int j = 0; j < kLanesOf<VW>; ++j) words[idx[j]] = v[j];
+  }
+
+  /// OR-fold of all lanes (leader-bit change probe).
+  template <typename VW>
+  [[gnu::always_inline]] static inline std::uint64_t orfold(const VW& v) {
+    if constexpr (kLanesOf<VW> == 4) {
+      return v[0] | v[1] | v[2] | v[3];
+    } else {
+      return (v[0] | v[1] | v[2] | v[3]) | (v[4] | v[5] | v[6] | v[7]);
+    }
+  }
+
+  /// One vectorized group of `lanes(VW)` mutually disjoint interactions:
+  /// gather, kernel, scatter, leader-bit delta census (sequential replay in
+  /// draw order only when some lane changed a leader bit — otherwise the
+  /// whole update is a provable no-op, see the class comment).
+  template <typename VW>
+  [[gnu::always_inline]] static inline void run_group(std::uint64_t* words,
+                                                      const int* ia,
+                                                      const int* ib,
+                                                      const Consts& kc,
+                                                      RingClock& clk) {
+    constexpr int G = kLanesOf<VW>;
+    VW wa = gather<VW>(words, ia);
+    VW wb = gather<VW>(words, ib);
+    const VW oa = wa;
+    const VW ob = wb;
+    if constexpr (G == 4) {
+      P::apply_word_x4(wa, wb, kc);
+    } else {
+      P::apply_word_x8(wa, wb, kc);
+    }
+    scatter(words, ia, wa);
+    scatter(words, ib, wb);
+    if constexpr (HasLeaderOutput<P>) {
+      const VW dl = (wa ^ oa) | (wb ^ ob);
+      if ((orfold(dl) & 1) == 0) {
+        clk.steps += static_cast<std::uint64_t>(G);
+      } else {
+        for (int j = 0; j < G; ++j) {
+          census_leader_change(oa[j], ob[j], wa[j], wb[j], clk, clk.steps);
+          ++clk.steps;
+        }
+      }
+    } else {
+      clk.steps += static_cast<std::uint64_t>(G);
+    }
+  }
+
+  /// The block loop at vector width VW (instantiated per ISA clone).
+  template <typename VW>
+  [[gnu::always_inline]] static inline void run_impl(
+      std::uint64_t* words, int n, std::uint64_t bound,
+      std::uint64_t threshold, Xoshiro256pp& rng0, RingClock& clk0,
+      const Consts& kc0, std::uint64_t k) {
+    Xoshiro256pp rng = rng0;
+    RingClock clk = clk0;
+    // By-value copy: stores through `words` (u64) may alias a *referenced*
+    // Consts under TBAA, which would force every kernel constant (and its
+    // SIMD broadcast) to reload per group; a local whose address never
+    // escapes cannot alias, so the broadcasts hoist out of the loop.
+    const Consts kc = kc0;
+    constexpr int G = kLanesOf<VW>;
+    while (k >= static_cast<std::uint64_t>(G)) {
+      int ia[G];
+      int ib[G];
+      for (int j = 0; j < G; ++j) {
+        const int arc =
+            static_cast<int>(rng.bounded_with_threshold(bound, threshold));
+        const ArcEndpoints e = arc_endpoints(arc, n);
+        ia[j] = e.initiator;
+        ib[j] = e.responder;
+      }
+      // Pairwise-overlap classification. At G == 8 the cross-half overlaps
+      // are tracked separately: the two halves can still run vectorized,
+      // just sequentially (first half\'s stores land before the second
+      // half\'s loads). Overlap *inside* a half degrades the whole group to
+      // exact one-at-a-time scalar steps.
+      int in_half = 0;
+      int cross = 0;
+      for (int x = 1; x < G; ++x) {
+        for (int y = 0; y < x; ++y) {
+          const int hit = static_cast<int>(ia[x] == ia[y]) |
+                          static_cast<int>(ia[x] == ib[y]) |
+                          static_cast<int>(ib[x] == ia[y]) |
+                          static_cast<int>(ib[x] == ib[y]);
+          if (G == 8 && x >= G / 2 && y < G / 2) {
+            cross |= hit;
+          } else {
+            in_half |= hit;
+          }
+        }
+      }
+      if (in_half != 0) [[unlikely]] {
+        for (int j = 0; j < G; ++j) step_one(words, ia[j], ib[j], kc, clk);
+      } else if constexpr (G == 8) {
+        if (cross != 0) [[unlikely]] {
+          run_group<WordVec>(words, ia, ib, kc, clk);
+          run_group<WordVec>(words, ia + 4, ib + 4, kc, clk);
+        } else {
+          run_group<VW>(words, ia, ib, kc, clk);
+        }
+      } else {
+        run_group<VW>(words, ia, ib, kc, clk);
+      }
+      k -= static_cast<std::uint64_t>(G);
+    }
+    while (k > 0) {
+      const int arc =
+          static_cast<int>(rng.bounded_with_threshold(bound, threshold));
+      const ArcEndpoints e = arc_endpoints(arc, n);
+      step_one(words, e.initiator, e.responder, kc, clk);
+      --k;
+    }
+    rng0 = rng;
+    clk0 = clk;
+  }
+
+  /// Cross-ring lockstep block (the ensemble kernel lane's main engine):
+  /// advance `nrings` independent rings `k` interactions each, one vector
+  /// lane per ring. Rings never share storage, so — unlike the single-ring
+  /// grouped path — no disjointness proof is needed, every iteration runs
+  /// the full-width kernel, and the per-lane RNG streams give the core G
+  /// independent generator chains to overlap. Per-ring trajectories are
+  /// bit-identical to the single-ring engines by construction (each ring
+  /// consumes exactly its own stream in order; lockstep only changes the
+  /// interleaving *between* rings, which share nothing).
+  template <typename VW>
+  [[gnu::always_inline]] static inline void rings_impl(
+      std::uint64_t* words_base, std::size_t ring_stride, const int* rings,
+      int nrings, int n, std::uint64_t bound, std::uint64_t threshold,
+      Xoshiro256pp* rngs, RingClock* clks, const Consts& kc0,
+      std::uint64_t k) {
+    const Consts kc = kc0;
+    constexpr int G = kLanesOf<VW>;
+    int i = 0;
+    for (; i + G <= nrings; i += G) {
+      const int* rg = rings + i;
+      std::uint64_t* base[G];
+      Xoshiro256pp rng[G];
+      RingClock clk[G];
+      std::uint64_t step0[G];
+      for (int j = 0; j < G; ++j) {
+        const int r = rg[j];
+        base[j] = words_base + ring_stride * static_cast<std::size_t>(r);
+        rng[j] = rngs[r];
+        clk[j] = clks[r];
+        step0[j] = clk[j].steps;
+      }
+      // clk.steps stays frozen during the block (every ring advances
+      // exactly k), so the rare census path takes the running step as an
+      // argument and the hot loop never touches the clocks.
+      for (std::uint64_t s = 0; s < k; ++s) {
+        int ia[G];
+        int ib[G];
+        for (int j = 0; j < G; ++j) {
+          const int arc = static_cast<int>(
+              rng[j].bounded_with_threshold(bound, threshold));
+          const ArcEndpoints e = arc_endpoints(arc, n);
+          ia[j] = e.initiator;
+          ib[j] = e.responder;
+        }
+        VW wa;
+        VW wb;
+        for (int j = 0; j < G; ++j) {
+          wa[j] = base[j][ia[j]];
+          wb[j] = base[j][ib[j]];
+        }
+        const VW oa = wa;
+        const VW ob = wb;
+        if constexpr (G == 4) {
+          P::apply_word_x4(wa, wb, kc);
+        } else {
+          P::apply_word_x8(wa, wb, kc);
+        }
+        for (int j = 0; j < G; ++j) {
+          base[j][ia[j]] = wa[j];
+          base[j][ib[j]] = wb[j];
+        }
+        if constexpr (HasLeaderOutput<P>) {
+          const VW dl = (wa ^ oa) | (wb ^ ob);
+          if ((orfold(dl) & 1) != 0) [[unlikely]] {
+            for (int j = 0; j < G; ++j) {
+              census_leader_change(oa[j], ob[j], wa[j], wb[j], clk[j],
+                                   step0[j] + s);
+            }
+          }
+        }
+      }
+      for (int j = 0; j < G; ++j) {
+        const int r = rg[j];
+        clk[j].steps = step0[j] + k;
+        rngs[r] = rng[j];
+        clks[r] = clk[j];
+      }
+    }
+    // Leftover rings (< G): the single-ring grouped path, same per-ring
+    // trajectory.
+    for (; i < nrings; ++i) {
+      const int r = rings[i];
+      run_impl<VW>(words_base + ring_stride * static_cast<std::size_t>(r), n,
+                   bound, threshold, rngs[r], clks[r], kc, k);
+    }
+  }
+
+ public:
+  /// Entry point for the cross-ring lockstep block (see rings_impl).
+  static void run_rings_block(std::uint64_t* words_base,
+                              std::size_t ring_stride, const int* rings,
+                              int nrings, int n, std::uint64_t bound,
+                              std::uint64_t threshold, Xoshiro256pp* rngs,
+                              RingClock* clks, const Consts& kc,
+                              std::uint64_t k) {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    const int isa = isa_level();
+    if (isa == 2) {
+      rings_avx512(words_base, ring_stride, rings, nrings, n, bound,
+                   threshold, rngs, clks, kc, k);
+      return;
+    }
+    if (isa == 1) {
+      rings_avx2(words_base, ring_stride, rings, nrings, n, bound, threshold,
+                 rngs, clks, kc, k);
+      return;
+    }
+#endif
+    rings_impl<WordVec>(words_base, ring_stride, rings, nrings, n, bound,
+                        threshold, rngs, clks, kc, k);
+  }
+
+ private:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  __attribute__((target("avx512f,avx512dq,avx512bw,avx512vl"))) static void
+  rings_avx512(std::uint64_t* words_base, std::size_t ring_stride,
+               const int* rings, int nrings, int n, std::uint64_t bound,
+               std::uint64_t threshold, Xoshiro256pp* rngs, RingClock* clks,
+               const Consts& kc, std::uint64_t k) {
+    rings_impl<WordVec8>(words_base, ring_stride, rings, nrings, n, bound,
+                         threshold, rngs, clks, kc, k);
+  }
+  __attribute__((target("avx2"))) static void rings_avx2(
+      std::uint64_t* words_base, std::size_t ring_stride, const int* rings,
+      int nrings, int n, std::uint64_t bound, std::uint64_t threshold,
+      Xoshiro256pp* rngs, RingClock* clks, const Consts& kc,
+      std::uint64_t k) {
+    rings_impl<WordVec>(words_base, ring_stride, rings, nrings, n, bound,
+                        threshold, rngs, clks, kc, k);
+  }
+  __attribute__((target("avx512f,avx512dq,avx512bw,avx512vl"))) static void
+  run_avx512(std::uint64_t* words, int n, std::uint64_t bound,
+             std::uint64_t threshold, Xoshiro256pp& rng, RingClock& clk,
+             const Consts& kc, std::uint64_t k) {
+    run_impl<WordVec8>(words, n, bound, threshold, rng, clk, kc, k);
+  }
+  __attribute__((target("avx2"))) static void run_avx2(
+      std::uint64_t* words, int n, std::uint64_t bound,
+      std::uint64_t threshold, Xoshiro256pp& rng, RingClock& clk,
+      const Consts& kc, std::uint64_t k) {
+    run_impl<WordVec>(words, n, bound, threshold, rng, clk, kc, k);
+  }
+#endif
+  static void run_base(std::uint64_t* words, int n, std::uint64_t bound,
+                       std::uint64_t threshold, Xoshiro256pp& rng,
+                       RingClock& clk, const Consts& kc, std::uint64_t k) {
+    run_impl<WordVec>(words, n, bound, threshold, rng, clk, kc, k);
+  }
+};
+
 /// Simulation runner. Owns the configuration, the scheduler RNG and step
 /// bookkeeping. Copyable (snapshot = copy).
 template <typename P>
@@ -298,9 +771,19 @@ class Runner {
   using State = typename P::State;
   using Params = typename P::Params;
   using Engine = InteractionEngine<P>;
+  using WordLayout = typename detail::WordLayoutOf<P>::type;
+  using WordConsts = typename detail::WordConstsOf<P>::type;
 
   static constexpr std::uint64_t npos =
       std::numeric_limits<std::uint64_t>::max();
+
+  /// run(k) dispatches to the protocol's word-packed kernel when it has one
+  /// (see HasWordKernel): the configuration is lazily mirrored into a u64
+  /// array, the hot loop runs on words, and the scalar states materialize on
+  /// demand. All other paths (step, apply_arc, run_unbatched, set_agent)
+  /// stay scalar — run_unbatched is the scalar *reference* the kernel is
+  /// differentially fuzzed against.
+  static constexpr bool kWordKernel = WordKernelRunnable<P>;
 
   Runner(Params params, std::vector<State> initial, std::uint64_t seed)
       : params_(std::move(params)),
@@ -308,13 +791,27 @@ class Runner {
         rng_(seed) {
     assert(static_cast<int>(agents_.size()) == params_.n);
     Engine::recount(agents_, params_, clk_);
+    if constexpr (kWordKernel) {
+      layout_ = P::word_layout(params_);
+      // The grouped driver reads the leader output off bit 0 of the word;
+      // probe that word_leader really is that bit, so a layout with the
+      // flag elsewhere keeps the scalar path instead of corrupting the
+      // census.
+      word_active_ = layout_.fits() && P::word_leader(1, layout_) &&
+                     !P::word_leader(0, layout_);
+      if (word_active_) consts_ = P::make_word_consts(layout_);
+    }
   }
 
   [[nodiscard]] const Params& params() const noexcept { return params_; }
   [[nodiscard]] std::span<const State> agents() const noexcept {
+    sync_states();
     return agents_;
   }
-  [[nodiscard]] const State& agent(int i) const { return agents_.at(i); }
+  [[nodiscard]] const State& agent(int i) const {
+    sync_states();
+    return agents_.at(i);
+  }
   [[nodiscard]] int n() const noexcept { return params_.n; }
   [[nodiscard]] std::uint64_t steps() const noexcept { return clk_.steps; }
 
@@ -353,14 +850,43 @@ class Runner {
   /// last leader away starts the clock at the current step, exactly as a
   /// transition would.
   void set_agent(int i, const State& s) {
+    prepare_scalar_mutation();
     Engine::set_agent(agents_.at(i), s, params_, clk_);
   }
 
   /// Execute a single uniformly random interaction.
   void step() { apply_arc(static_cast<int>(rng_.bounded(arc_count()))); }
 
-  /// Execute `k` uniformly random interactions through the fused fast path.
+  /// True while run(k) dispatches to the protocol's word-packed kernel.
+  /// Always false for protocols without one; drops (permanently) to false
+  /// when a state outside the packed domain enters via set_agent or the
+  /// initial configuration, or after force_scalar_path().
+  [[nodiscard]] bool word_path_active() const noexcept {
+    return word_active_;
+  }
+
+  /// Permanently pin run(k) to the scalar batched path (no-op for protocols
+  /// without a word kernel). Exists so benches can measure scalar-vs-kernel
+  /// in one binary and the differential harness can drive both side by side.
+  void force_scalar_path() {
+    sync_states();
+    word_active_ = false;
+    words_fresh_ = false;
+    words_.clear();
+    words_.shrink_to_fit();
+  }
+
+  /// Execute `k` uniformly random interactions through the fused fast path
+  /// (the word-packed kernel when the protocol has one, the scalar batched
+  /// loop otherwise — bit-identical trajectories either way).
   void run(std::uint64_t k) {
+    if constexpr (kWordKernel) {
+      if (word_active_ && ensure_words()) {
+        run_word(k);
+        return;
+      }
+    }
+    prepare_scalar_mutation();
     const auto bound = static_cast<std::uint64_t>(arc_count());
     const std::uint64_t threshold = Xoshiro256pp::rejection_threshold(bound);
     State* const agents = agents_.data();
@@ -384,6 +910,7 @@ class Runner {
   /// For directed protocols arc in [0, n); for undirected, arcs in [n, 2n)
   /// are the reversed pairs (u_{a-n+1} initiator, u_{a-n} responder).
   void apply_arc(int arc) {
+    prepare_scalar_mutation();
     Engine::apply_arc(agents_.data(), arc, params_, clk_);
   }
 
@@ -400,13 +927,13 @@ class Runner {
                                          std::uint64_t check_every = 0) {
     if (check_every == 0)
       check_every = static_cast<std::uint64_t>(params_.n);
-    if (pred(std::span<const State>(agents_), params_)) return clk_.steps;
+    if (pred(agents(), params_)) return clk_.steps;
     const std::uint64_t deadline = clk_.steps + max_steps;
     while (clk_.steps < deadline) {
       const std::uint64_t block =
           std::min<std::uint64_t>(check_every, deadline - clk_.steps);
       run(block);
-      if (pred(std::span<const State>(agents_), params_)) return clk_.steps;
+      if (pred(agents(), params_)) return clk_.steps;
     }
     return std::nullopt;
   }
@@ -422,10 +949,77 @@ class Runner {
   }
 
  private:
+  /// Materialize agents_ from the word mirror if the last run(k) block left
+  /// the scalar states stale. Logically const (lazy view refresh).
+  void sync_states() const noexcept {
+    if constexpr (kWordKernel) {
+      if (!states_stale_) return;
+      for (std::size_t i = 0; i < agents_.size(); ++i)
+        agents_[i] = P::unpack_word(words_[i], layout_);
+      states_stale_ = false;
+    }
+  }
+
+  /// A scalar-path mutation is about to touch agents_: materialize them and
+  /// invalidate the word mirror (it will be lazily repacked by the next
+  /// kernel block).
+  void prepare_scalar_mutation() noexcept {
+    if constexpr (kWordKernel) {
+      sync_states();
+      words_fresh_ = false;
+    }
+  }
+
+  /// Pack the configuration into the word mirror. Any state that fails the
+  /// round-trip acceptance test (= outside the packed domain, e.g. an
+  /// injected fault with dist >= 2psi) permanently drops the runner to the
+  /// scalar path — exact, just slower; mirrors EnsembleRunner's LUT
+  /// fallback contract.
+  [[nodiscard]] bool ensure_words()
+    requires(kWordKernel)
+  {
+    if (words_fresh_) return true;
+    words_.resize(agents_.size());
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      const std::uint64_t w = P::pack_word(agents_[i], layout_);
+      if (!(P::unpack_word(w, layout_) == agents_[i])) {
+        word_active_ = false;
+        return false;
+      }
+      words_[i] = w;
+    }
+    words_fresh_ = true;
+    return true;
+  }
+
+  /// The word-kernel hot loop: the shared grouped driver (same RNG draws
+  /// as the scalar batched path, leader-bit delta census, bit-identical
+  /// trajectories — see WordGroupDriver).
+  void run_word(std::uint64_t k)
+    requires(kWordKernel)
+  {
+    const auto bound = static_cast<std::uint64_t>(arc_count());
+    const std::uint64_t threshold = Xoshiro256pp::rejection_threshold(bound);
+    WordGroupDriver<P>::run_block(words_.data(), params_.n, bound, threshold,
+                                  rng_, clk_, consts_, k);
+    states_stale_ = true;
+  }
+
   Params params_;
-  std::vector<State> agents_;
+  /// In word-kernel runs this block is a lazily refreshed materialization of
+  /// `words_` (see `states_stale_`), hence mutable: accessors are logically
+  /// const.
+  mutable std::vector<State> agents_;
   Xoshiro256pp rng_;
   RingClock clk_;
+  WordLayout layout_{};                 ///< valid only when kWordKernel
+  WordConsts consts_{};                 ///< kernel constants (word path)
+  std::vector<std::uint64_t> words_;    ///< u64 mirror of agents_
+  bool words_fresh_ = false;            ///< words_ mirrors agents_
+  mutable bool states_stale_ = false;   ///< agents_ behind words_
+  bool word_active_ = false;            ///< kernel dispatch enabled
 };
 
 }  // namespace ppsim::core
+
+#pragma GCC diagnostic pop

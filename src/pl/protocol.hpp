@@ -16,6 +16,8 @@
 
 #include "common/elimination.hpp"
 #include "pl/events.hpp"
+#include "pl/packed_protocol.hpp"
+#include "pl/packed_state.hpp"
 #include "pl/params.hpp"
 #include "pl/state.hpp"
 
@@ -247,6 +249,59 @@ struct PlProtocol {
   [[nodiscard]] static bool is_leader(const State& s,
                                       const Params&) noexcept {
     return s.leader == 1;
+  }
+
+  // --- Word-packed fast path (core::HasWordKernel) ---
+  // The whole variable block bit-sliced into one uint64_t with a
+  // parameter-derived layout (pl/packed_state.hpp) and a branch-lean
+  // transition kernel bit-identical to apply() on in-domain states
+  // (pl/packed_protocol.hpp). Runner::run and the EnsembleRunner kernel
+  // lane dispatch to this automatically when the layout fits 64 bits;
+  // out-of-domain states (fault injection beyond the declared domains)
+  // fail the pack/unpack round trip and drop the engine back to the
+  // scalar path.
+  using WordLayout = PackedLayout;
+  using WordKernelConsts = PlKernelConsts;
+
+  [[nodiscard]] static WordLayout word_layout(const Params& p) noexcept {
+    return PackedLayout::make(p);
+  }
+  [[nodiscard]] static std::uint64_t pack_word(
+      const State& s, const WordLayout& l) noexcept {
+    return pl::pack_word(s, l);
+  }
+  [[nodiscard]] static State unpack_word(std::uint64_t w,
+                                         const WordLayout& l) noexcept {
+    return pl::unpack_word(w, l);
+  }
+  static void apply_word(std::uint64_t& l, std::uint64_t& r,
+                         const WordLayout& lay) noexcept {
+    pl::apply_word(l, r, lay);
+  }
+  [[nodiscard]] static WordKernelConsts make_word_consts(
+      const WordLayout& l) noexcept {
+    return PlKernelConsts::make(l);
+  }
+  [[gnu::always_inline]] static inline void apply_word_one(
+      std::uint64_t& l, std::uint64_t& r,
+      const WordKernelConsts& k) noexcept {
+    pl::apply_word_one(l, r, k);
+  }
+  // always_inline so the vector bodies compile inside the ISA-dispatched
+  // driver clones (core::WordGroupDriver) rather than at baseline ISA.
+  [[gnu::always_inline]] static inline void apply_word_x4(
+      core::WordVec& l, core::WordVec& r,
+      const WordKernelConsts& k) noexcept {
+    pl::apply_word_x4(l, r, k);
+  }
+  [[gnu::always_inline]] static inline void apply_word_x8(
+      core::WordVec8& l, core::WordVec8& r,
+      const WordKernelConsts& k) noexcept {
+    pl::apply_word_x8(l, r, k);
+  }
+  [[nodiscard]] static bool word_leader(std::uint64_t w,
+                                        const WordLayout& l) noexcept {
+    return pl::word_leader(w, l);
   }
 
   /// Human-readable state rendering (differential-fuzzer divergence reports;

@@ -5,15 +5,25 @@
 // per step for the same (params, initial configuration, seed):
 //
 //   A  Runner::run_unbatched   — the reference scheduler path
-//   B  Runner::run             — the fused fast path (delta census)
+//   B  Runner::run             — the fused fast path (delta census; for
+//                                word-kernel protocols this IS the
+//                                bit-sliced kernel + grouped SIMD driver)
 //   C  EnsembleRunner, generic — the blocked InteractionEngine kernel
-//   D  EnsembleRunner, packed  — the precomputed pair-transition table
-//                                (only for HasPackedStates protocols)
+//   D  EnsembleRunner, packed  — the accelerated ensemble lane: the
+//                                pair-transition LUT (HasPackedStates) or
+//                                the word-kernel lane (core::HasWordKernel,
+//                                P_PL — cross-checked against every scalar
+//                                lane here, which is what certifies the
+//                                packed kernel rather than assuming it)
 //   E  checker mirror          — ModelChecker<M>::successor driven by a
 //                                cloned RNG stream: every step decodes,
 //                                applies M::apply, re-encodes, so the
 //                                checker adapter's pack/unpack/apply are
 //                                cross-checked against the protocol proper
+//   F  Runner::run, forced scalar — only for word-kernel protocols: the
+//                                scalar batched path Runner::run would
+//                                otherwise never take (force_scalar_path),
+//                                so the delta-census code keeps coverage
 //
 // The harness advances all lanes in blocks of `check_every` interactions
 // and, at every checkpoint, compares full configurations (operator==),
@@ -38,6 +48,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -71,7 +82,9 @@ struct FuzzReport {
   /// Fold of the final configuration + censuses only: invariant across
   /// check_every granularities when fault_storms == 0.
   std::uint64_t final_digest = 0;
-  bool packed_lane = false;  ///< lane D ran in (and stayed in) packed mode
+  bool packed_lane = false;  ///< lane D ran in (and stayed in) an
+                             ///< accelerated mode (LUT or word kernel)
+  bool word_lane = false;    ///< lane B ran (and stayed) on the word kernel
   bool mirror_lane = false;  ///< lane E (checker adapter) participated
   std::string divergence;    ///< first mismatch, human readable; empty if ok
 };
@@ -149,7 +162,7 @@ template <typename P, typename M = void, typename FaultState>
   [[maybe_unused]] const auto arc_count =
       static_cast<std::uint64_t>(P::directed ? n : 2 * n);
 
-  // Lanes A-D.
+  // Lanes A-D, and F for word-kernel protocols.
   core::Runner<P> lane_a(params, initial, cfg.seed);
   core::Runner<P> lane_b(params, initial, cfg.seed);
   core::EnsembleRunner<P> lane_c(params, 1);
@@ -157,7 +170,14 @@ template <typename P, typename M = void, typename FaultState>
   lane_c.add_ring(initial, cfg.seed);
   core::EnsembleRunner<P> lane_d(params, 1);
   lane_d.add_ring(initial, cfg.seed);
-  const bool have_lane_d = lane_d.packed_mode();  // else it duplicates C
+  const bool have_lane_d =
+      lane_d.packed_mode() || lane_d.word_kernel_mode();  // else duplicates C
+  constexpr bool kHaveLaneF = core::Runner<P>::kWordKernel;
+  std::optional<core::Runner<P>> lane_f;  // dead weight otherwise: skip it
+  if constexpr (kHaveLaneF) {
+    lane_f.emplace(params, initial, cfg.seed);
+    lane_f->force_scalar_path();
+  }
 
   // Lane E: the checker mirror.
   [[maybe_unused]] std::uint64_t mirror_id = 0;
@@ -226,6 +246,12 @@ template <typename P, typename M = void, typename FaultState>
     if (!compare_span("B(run)", lane_b.agents())) return false;
     if (!compare_u64("B(run)", "steps", lane_b.steps(), lane_a.steps()))
       return false;
+    if constexpr (kHaveLaneF) {
+      if (!compare_span("F(run-scalar)", lane_f->agents())) return false;
+      if (!compare_u64("F(run-scalar)", "steps", lane_f->steps(),
+                       lane_a.steps()))
+        return false;
+    }
     if (!compare_span("C(ensemble-generic)", lane_c.agents(0))) return false;
     if (!compare_u64("C(ensemble-generic)", "steps", lane_c.steps(0),
                      lane_a.steps()))
@@ -255,6 +281,16 @@ template <typename P, typename M = void, typename FaultState>
                        lane_b.last_leader_change(),
                        lane_a.last_leader_change()))
         return false;
+      if constexpr (kHaveLaneF) {
+        if (!compare_u64("F(run-scalar)", "leader_count",
+                         static_cast<std::uint64_t>(lane_f->leader_count()),
+                         want_l))
+          return false;
+        if (!compare_u64("F(run-scalar)", "last_leader_change",
+                         lane_f->last_leader_change(),
+                         lane_a.last_leader_change()))
+          return false;
+      }
       if (!compare_u64("C(ensemble-generic)", "last_leader_change",
                        lane_c.last_leader_change(0),
                        lane_a.last_leader_change()))
@@ -332,6 +368,7 @@ template <typename P, typename M = void, typename FaultState>
             fault_state(params, fault_rng, lane_a.agent(idx), idx);
         lane_a.set_agent(idx, payload);
         lane_b.set_agent(idx, payload);
+        if constexpr (kHaveLaneF) lane_f->set_agent(idx, payload);
         lane_c.set_agent(0, idx, payload);
         if (have_lane_d) lane_d.set_agent(0, idx, payload);
         if constexpr (kMirrorable) {
@@ -360,6 +397,7 @@ template <typename P, typename M = void, typename FaultState>
     const std::uint64_t block = std::min(check_every, cfg.steps - done);
     lane_a.run_unbatched(block);
     lane_b.run(block);
+    if constexpr (kHaveLaneF) lane_f->run(block);
     lane_c.run_ring(0, block);
     if (have_lane_d) lane_d.run_ring(0, block);
     if constexpr (kMirrorable) {
@@ -383,7 +421,9 @@ template <typename P, typename M = void, typename FaultState>
     ++cp;
   }
 
-  rep.packed_lane = have_lane_d && lane_d.packed_mode();
+  rep.packed_lane =
+      have_lane_d && (lane_d.packed_mode() || lane_d.word_kernel_mode());
+  rep.word_lane = lane_b.word_path_active();
   std::uint64_t h = detail::mix64(0x5EEDED, lane_a.steps());
   if constexpr (core::HasLeaderOutput<P>) {
     h = detail::mix64(h, static_cast<std::uint64_t>(lane_a.leader_count()));

@@ -159,6 +159,103 @@ TEST(Differential, PlProtocolLanes) {
   const auto rep = run_differential<pl::PlProtocol>(
       p, pl::random_config(p, cfg_rng), cfg, pl_fault);
   EXPECT_TRUE(rep.ok) << rep.divergence;
+  // P_PL's word-packed lanes: Runner::run (lane B) and the ensemble kernel
+  // lane (lane D) both replay the bit-sliced kernel against the scalar
+  // reference; in-domain fault storms keep them active.
+  EXPECT_TRUE(rep.word_lane);
+  EXPECT_TRUE(rep.packed_lane);
+}
+
+TEST(Differential, PlPackedLanesAtLargerRingsWithStorms) {
+  // The grouped SIMD driver's no-conflict fast path only engages when the
+  // drawn pairs are disjoint — exercise it at ring sizes where it runs
+  // (and where the conflict/scalar fallback mixes in), storms on.
+  for (const int n : {16, 64, 257}) {
+    const auto p = pl::PlParams::make(n, 4);
+    core::Xoshiro256pp cfg_rng(600 + n);
+    FuzzConfig cfg;
+    cfg.seed = 7000 + static_cast<std::uint64_t>(n);
+    cfg.steps = 8192;
+    cfg.check_every = 256;
+    cfg.fault_storms = 3;
+    cfg.faults_per_storm = 2;
+    const auto rep = run_differential<pl::PlProtocol>(
+        p, pl::random_config(p, cfg_rng), cfg, pl_fault);
+    EXPECT_TRUE(rep.ok) << "n=" << n << ": " << rep.divergence;
+    EXPECT_TRUE(rep.word_lane) << n;
+    EXPECT_TRUE(rep.packed_lane) << n;
+  }
+}
+
+TEST(Differential, PlOutOfDomainFaultDropsPackedLanesExactly) {
+  // A fault outside the declared variable domains must fail the pack
+  // round-trip, drop lanes B/D to their scalar paths, and still diverge
+  // nowhere.
+  const auto p = pl::PlParams::make(12, 4);
+  core::Xoshiro256pp cfg_rng(77);
+  FuzzConfig cfg;
+  cfg.seed = 31;
+  cfg.steps = 4096;
+  cfg.check_every = 64;
+  cfg.fault_storms = 2;
+  cfg.faults_per_storm = 1;
+  const auto garbage_fault = [](const pl::PlParams&, core::Xoshiro256pp& rng,
+                                const pl::PlState&, int) {
+    pl::PlState s;
+    s.dist = static_cast<std::uint16_t>(40000 + rng.bounded(1000));
+    s.clock = 60000;  // far outside [0, kappa_max]
+    return s;
+  };
+  const auto rep = run_differential<pl::PlProtocol>(
+      p, pl::random_config(p, cfg_rng), cfg, garbage_fault);
+  EXPECT_TRUE(rep.ok) << rep.divergence;
+  EXPECT_FALSE(rep.word_lane);    // permanently back on the scalar path
+  EXPECT_FALSE(rep.packed_lane);  // same for the ensemble kernel lane
+}
+
+TEST(Differential, BrokenWordKernelIsDetected) {
+  // The canary for the packed fast path itself: a kernel that drifts from
+  // the scalar transition by a single bit must be caught at the first
+  // checkpoint — equivalence is certified, not assumed.
+  struct BrokenWordPl : pl::PlProtocol {
+    static void sabotage(std::uint64_t& wr) { wr ^= 0x2; }  // flip r.b
+    static void apply_word(std::uint64_t& l, std::uint64_t& r,
+                           const WordLayout& lay) noexcept {
+      pl::apply_word(l, r, lay);
+      sabotage(r);
+    }
+    static void apply_word_one(std::uint64_t& l, std::uint64_t& r,
+                               const WordKernelConsts& k) noexcept {
+      pl::apply_word_one(l, r, k);
+      sabotage(r);
+    }
+    static void apply_word_x4(core::WordVec& l, core::WordVec& r,
+                              const WordKernelConsts& k) noexcept {
+      pl::apply_word_x4(l, r, k);
+      for (int j = 0; j < 4; ++j) sabotage(r[j]);
+    }
+    static void apply_word_x8(core::WordVec8& l, core::WordVec8& r,
+                              const WordKernelConsts& k) noexcept {
+      pl::apply_word_x8(l, r, k);
+      for (int j = 0; j < 8; ++j) sabotage(r[j]);
+    }
+  };
+  static_assert(core::Runner<BrokenWordPl>::kWordKernel);
+  const auto p = pl::PlParams::make(8, 4);
+  core::Xoshiro256pp cfg_rng(5);
+  FuzzConfig cfg;
+  cfg.seed = 13;
+  cfg.steps = 2048;
+  cfg.check_every = 32;
+  const auto rep = run_differential<BrokenWordPl>(
+      p, pl::random_config(p, cfg_rng), cfg, pl_fault);
+  EXPECT_FALSE(rep.ok);
+  // The word kernel drives lanes B and D; the scalar lanes A/C/F are the
+  // truth, so the first divergence names a word lane.
+  const bool named_word_lane =
+      rep.divergence.find("B(run)") != std::string::npos ||
+      rep.divergence.find("D(ensemble-packed)") != std::string::npos;
+  EXPECT_TRUE(named_word_lane) << rep.divergence;
 }
 
 TEST(Differential, EliminationPackedAndMirrorLanes) {
