@@ -1,0 +1,80 @@
+// E21 — bounded-draw throughput of the RNG engines (google-benchmark):
+// one scalar Xoshiro256pp stream versus the lane-parallel XoshiroLanes
+// engine advancing 4 or 8 independent streams as SIMD columns. Items
+// processed counts *draws*, so the columns are directly comparable to the
+// scalar stream. Read with care: a dedicated back-to-back loop is bound by
+// the engine's serial state chain (and, at 512 bits, by port-0 shift/mul
+// throughput), where a lone scalar stream measures *faster per draw* than
+// the lanes. The lanes' payoff is contextual — one vector step issues
+// ~1/G the uops of G scalar draws, which is what matters inside the
+// frontend-bound lockstep loop (BENCH_ensemble.json). This bench exists
+// to pin both engines' isolated cost so an RNG regression is visible
+// independently of the kernels.
+//
+// Two bound regimes per engine, selected by the benchmark argument
+// (bounds themselves exceed google-benchmark's int64 Arg range): 0 = the
+// simulator's own arc bound (2n at n = 16384, negligible rejection — the
+// hot-loop case), 1 = a bound just past 2^63 whose Lemire threshold
+// rejects ~half of all raw draws, stress-testing the cold per-column
+// redraw fixup that keeps bit-identity.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+constexpr std::uint64_t kBounds[] = {
+    2 * 16384,          // arc draw at n = 16384
+    (1ULL << 63) + 1,   // ~50% Lemire rejection
+};
+
+void BM_ScalarBounded(benchmark::State& state) {
+  const std::uint64_t bound = kBounds[state.range(0)];
+  const std::uint64_t threshold =
+      core::Xoshiro256pp::rejection_threshold(bound);
+  core::Xoshiro256pp rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i)
+      sink ^= rng.bounded_with_threshold(bound, threshold);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ScalarBounded)->Arg(0)->Arg(1);
+
+template <typename V>
+void lanes_bounded(benchmark::State& state) {
+  constexpr int G = core::kLanesOf<V>;
+  const std::uint64_t bound = kBounds[state.range(0)];
+  const std::uint64_t threshold =
+      core::Xoshiro256pp::rejection_threshold(bound);
+  core::Xoshiro256pp streams[G];
+  for (int r = 0; r < G; ++r)
+    streams[r] = core::Xoshiro256pp(core::derive_seed(1, 0, r));
+  core::XoshiroLanes<V> lanes;
+  lanes.load(streams);
+  V sink{};
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i)
+      sink ^= lanes.bounded_with_threshold(bound, threshold);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * G);
+}
+
+void BM_LanesBoundedX4(benchmark::State& state) {
+  lanes_bounded<core::WordVec>(state);
+}
+BENCHMARK(BM_LanesBoundedX4)->Arg(0)->Arg(1);
+
+void BM_LanesBoundedX8(benchmark::State& state) {
+  lanes_bounded<core::WordVec8>(state);
+}
+BENCHMARK(BM_LanesBoundedX8)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -100,6 +100,10 @@ Row measure_protocol(const char* name, const typename P::Params& params,
         measure_ips([&](std::uint64_t k) { runner.run(k); }, steps, repeats);
   }
   if constexpr (core::Runner<P>::kWordKernel) {
+    // word_path_active() honors the engagement gate: ring sizes whose
+    // grouped draws are too conflict-prone to win (the old sub-1x cells)
+    // report no packed number at all instead of a dishonest one — the
+    // runner would route them to the scalar batched engine anyway.
     core::Runner<P> runner = warmed;
     if (runner.word_path_active()) {
       row.has_packed = true;

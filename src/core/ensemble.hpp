@@ -113,6 +113,14 @@ class EnsembleRunner {
   /// fails the pack/unpack round trip (out of the declared domain) drops
   /// the ensemble to the generic path, never to a wrong trajectory.
   static constexpr bool kWordable = WordKernelRunnable<P>;
+
+  /// Regime-narrowed word lane: when the protocol's kernel also
+  /// instantiates at 32-bit elements (core::HasNarrowWordKernel) *and* the
+  /// layout for these parameters fits a half-word (P_PL at small n /
+  /// small c1), the mirror is u32 instead of u64 and the cross-ring
+  /// lockstep lane carries twice the rings per vector register. Same
+  /// round-trip fallback contract; bit-identical trajectories.
+  static constexpr bool kNarrowable = kWordable && HasNarrowWordKernel<P>;
   using WordLayout = typename detail::WordLayoutOf<P>::type;
   using WordConsts = typename detail::WordConstsOf<P>::type;
 
@@ -140,6 +148,9 @@ class EnsembleRunner {
         word_active_ = layout_.fits() && P::word_leader(1, layout_) &&
                        !P::word_leader(0, layout_);
         if (word_active_) consts_ = P::make_word_consts(layout_);
+        if constexpr (kNarrowable) {
+          narrow_active_ = word_active_ && P::word_fits_narrow(layout_);
+        }
       }
     }
   }
@@ -176,6 +187,13 @@ class EnsembleRunner {
             deactivate_word();  // out-of-domain state: generic path, forever
             break;
           }
+          if constexpr (kNarrowable) {
+            if (narrow_active_) {
+              // Lossless: fits_narrow bounds total_bits <= 32.
+              words32_.push_back(static_cast<std::uint32_t>(w));
+              continue;
+            }
+          }
           words_.push_back(w);
         }
       }
@@ -199,6 +217,12 @@ class EnsembleRunner {
   /// to the generic path).
   [[nodiscard]] bool word_kernel_mode() const noexcept {
     return word_active_;
+  }
+
+  /// True while the word-kernel lane runs on the narrow (u32) mirror — the
+  /// regime-narrowed layout at small n. Implies word_kernel_mode().
+  [[nodiscard]] bool narrow_word_mode() const noexcept {
+    return narrow_active_;
   }
 
   [[nodiscard]] std::span<const State> agents(int r) const {
@@ -265,6 +289,12 @@ class EnsembleRunner {
         const std::uint64_t w = P::pack_word(s, layout_);
         if (!(P::unpack_word(w, layout_) == s)) {
           deactivate_word();
+        } else if constexpr (kNarrowable) {
+          if (narrow_active_) {
+            words32_[slot] = static_cast<std::uint32_t>(w);
+          } else {
+            words_[slot] = w;
+          }
         } else {
           words_[slot] = w;
         }
@@ -480,13 +510,16 @@ class EnsembleRunner {
     packed_.shrink_to_fit();
   }
 
-  /// Leave the word-kernel lane permanently, same contract as
-  /// deactivate_lut.
+  /// Leave the word-kernel lane permanently (narrow or wide), same
+  /// contract as deactivate_lut.
   void deactivate_word() {
     for (int r = 0; r < ring_count(); ++r) sync_ring(r);
     word_active_ = false;
+    narrow_active_ = false;
     words_.clear();
     words_.shrink_to_fit();
+    words32_.clear();
+    words32_.shrink_to_fit();
   }
 
   /// Materialize ring r's State block from the active accelerator mirror if
@@ -509,6 +542,16 @@ class EnsembleRunner {
       }
       if constexpr (kWordable) {
         if (word_active_) {
+          if constexpr (kNarrowable) {
+            if (narrow_active_) {
+              for (int i = 0; i < params_.n; ++i) {
+                states_[off + static_cast<std::size_t>(i)] = P::unpack_word(
+                    words32_[off + static_cast<std::size_t>(i)], layout_);
+              }
+              dirty_[ri] = 0;
+              return;
+            }
+          }
           for (int i = 0; i < params_.n; ++i) {
             states_[off + static_cast<std::size_t>(i)] = P::unpack_word(
                 words_[off + static_cast<std::size_t>(i)], layout_);
@@ -620,6 +663,15 @@ class EnsembleRunner {
     requires(kWordable)
   {
     const auto ri = static_cast<std::size_t>(r);
+    if constexpr (kNarrowable) {
+      if (narrow_active_) {
+        WordGroupDriver<P>::run_narrow_ring(
+            words32_.data() + ring_offset(r), params_.n, bound_, threshold_,
+            rngs_[ri], clocks_[ri], consts_, k);
+        dirty_[ri] = 1;
+        return;
+      }
+    }
     WordGroupDriver<P>::run_block(words_.data() + ring_offset(r), params_.n,
                                   bound_, threshold_, rngs_[ri], clocks_[ri],
                                   consts_, k);
@@ -633,6 +685,18 @@ class EnsembleRunner {
                           std::uint64_t k)
     requires(kWordable)
   {
+    if constexpr (kNarrowable) {
+      if (narrow_active_) {
+        WordGroupDriver<P>::run_rings_narrow_block(
+            words32_.data(), static_cast<std::size_t>(params_.n),
+            rings.data(), nrings, params_.n, bound_, threshold_,
+            rngs_.data(), clocks_.data(), consts_, k);
+        for (int i = 0; i < nrings; ++i)
+          dirty_[static_cast<std::size_t>(
+              rings[static_cast<std::size_t>(i)])] = 1;
+        return;
+      }
+    }
     WordGroupDriver<P>::run_rings_block(
         words_.data(), static_cast<std::size_t>(params_.n), rings.data(),
         nrings, params_.n, bound_, threshold_, rngs_.data(), clocks_.data(),
@@ -660,8 +724,10 @@ class EnsembleRunner {
   WordLayout layout_{};             ///< valid only in word-kernel mode
   WordConsts consts_{};             ///< kernel constants (word-kernel mode)
   std::vector<std::uint64_t> words_;  ///< u64 mirror of states_, same layout
+  std::vector<std::uint32_t> words32_;  ///< narrow mirror (replaces words_)
   std::vector<int> all_rings_;      ///< reusable [0, ring_count) id list
   bool word_active_ = false;        ///< word-kernel lane drives the hot loop
+  bool narrow_active_ = false;      ///< the mirror is words32_, not words_
 };
 
 /// Mutable view of one *running* ring — the engine-agnostic surface fault

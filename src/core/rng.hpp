@@ -11,6 +11,13 @@
 #include <cstdint>
 #include <limits>
 
+#include "core/wordlane.hpp"
+
+// XoshiroLanes carries wide vector state; every member is force-inlined into
+// the ISA-dispatched driver clones, so no vector-ABI symbol materializes.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
 namespace ppsim::core {
 
 /// SplitMix64: used to expand a single 64-bit seed into a full xoshiro state.
@@ -122,12 +129,154 @@ class Xoshiro256pp {
 
   bool coin() noexcept { return ((*this)() >> 63) != 0; }
 
+  /// Raw engine state, and its inverse — the columnar lane engine
+  /// (XoshiroLanes) moves streams between scalar engines and SIMD columns
+  /// through these without perturbing them.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  [[nodiscard]] static Xoshiro256pp from_state(
+      const std::array<std::uint64_t, 4>& s) noexcept {
+    Xoshiro256pp r;
+    r.state_ = s;
+    return r;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
 
   std::array<std::uint64_t, 4> state_{};
+};
+
+/// Lane-parallel xoshiro256++: kLanes *independent* streams advanced as SIMD
+/// columns. Column j is bit-identical — value for value, and in stream
+/// position — to the scalar Xoshiro256pp whose state was loaded into it, so
+/// a driver can freely switch between per-ring scalar draws and one columnar
+/// draw for the whole group without changing a single trajectory.
+///
+/// V is a 64-bit-element lane type from core/wordlane.hpp (WordVec for 4
+/// streams / AVX2, WordVec8 for 8 streams / AVX-512). State is stored
+/// column-major: s_[w][j] is word w of stream j, so one xoshiro step is four
+/// vector ops wide and touches every stream at once.
+template <typename V>
+class XoshiroLanes {
+ public:
+  static constexpr int kLanes = kLanesOf<V>;
+  static_assert(sizeof(typename lane_traits<V>::element) == 8,
+                "XoshiroLanes columns are 64-bit streams");
+
+  XoshiroLanes() noexcept : s_{} {}
+
+  /// Column j adopts the stream of engines[j] (state copied, not aliased).
+  void load(const Xoshiro256pp* engines) noexcept {
+    for (int w = 0; w < 4; ++w)
+      for (int j = 0; j < kLanes; ++j) s_[w][j] = engines[j].state()[w];
+  }
+
+  /// Write column j's stream position back into engines[j].
+  void store(Xoshiro256pp* engines) const noexcept {
+    for (int j = 0; j < kLanes; ++j) {
+      std::array<std::uint64_t, 4> st;
+      for (int w = 0; w < 4; ++w) st[w] = s_[w][j];
+      engines[j] = Xoshiro256pp::from_state(st);
+    }
+  }
+
+  /// One xoshiro256++ step in every column.
+  [[gnu::always_inline]] V next() noexcept {
+    const V result = vrotl(s_[0] + s_[3], 23) + s_[0];
+    const V t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = vrotl(s_[3], 45);
+    return result;
+  }
+
+  /// Lane-parallel `Xoshiro256pp::bounded_with_threshold`: one draw per
+  /// column, all columns at once. The accept case — overwhelmingly likely
+  /// for scheduler bounds (rejection probability < bound/2^64) — is pure
+  /// vector dataflow; a rejected column redraws through its own scalar
+  /// stream out of line, so per-column stream consumption stays exact.
+  [[gnu::always_inline]] V bounded_with_threshold(
+      std::uint64_t bound, std::uint64_t threshold) noexcept {
+    const V x = next();
+    V hi, lo;
+    mulwide(x, bound, hi, lo);
+    // Native < on unsigned-element vectors is an UNSIGNED elementwise
+    // compare — exactly the Lemire rejection test.
+    const V rejected = (V)(lo < vbroadcast<V>(threshold));
+    if (__builtin_expect(anyset(rejected), 0)) {
+      redraw_rejected(hi, rejected, bound, threshold);
+    }
+    return hi;
+  }
+
+ private:
+  [[gnu::always_inline]] static V vrotl(V x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Full 128-bit product per column, split as hi/lo 64-bit halves. Vector
+  /// ISAs have no 64x64->128 multiply, so build it from 32-bit partial
+  /// products; when the bound fits 32 bits (every scheduler bound: arcs
+  /// number at most 2^33 only past n = 2^32 agents) two multiplies suffice.
+  [[gnu::always_inline]] static void mulwide(V x, std::uint64_t bound, V& hi,
+                                             V& lo) noexcept {
+    const V lo32 = vbroadcast<V>(0xFFFFFFFFULL);
+    const V xl = x & lo32;
+    const V xh = x >> 32;
+    if (bound <= (1ULL << 32)) {
+      const V b = vbroadcast<V>(bound);
+      const V pl = xl * b;
+      const V ph = xh * b;
+      const V mid = ph + (pl >> 32);
+      hi = mid >> 32;
+      lo = (mid << 32) | (pl & lo32);
+    } else {
+      const V bl = vbroadcast<V>(bound & 0xFFFFFFFFULL);
+      const V bh = vbroadcast<V>(bound >> 32);
+      const V t = xl * bl;
+      const V u = xh * bl + (t >> 32);
+      const V v = xl * bh + (u & lo32);
+      hi = xh * bh + (u >> 32) + (v >> 32);
+      lo = (v << 32) | (t & lo32);
+    }
+  }
+
+  [[gnu::always_inline]] static bool anyset(V m) noexcept {
+    std::uint64_t acc = 0;
+    for (int j = 0; j < kLanes; ++j) acc |= m[j];
+    return acc != 0;
+  }
+
+  /// Cold path: a column's first draw fell below the Lemire threshold.
+  /// Replay that column's remaining draws through a scalar engine — the
+  /// exact loop `bounded_with_threshold` runs — and fold the result and the
+  /// advanced stream position back into the column.
+  [[gnu::cold, gnu::noinline]] void redraw_rejected(
+      V& hi, V rejected, std::uint64_t bound,
+      std::uint64_t threshold) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    for (int j = 0; j < kLanes; ++j) {
+      if (!rejected[j]) continue;
+      std::array<std::uint64_t, 4> st;
+      for (int w = 0; w < 4; ++w) st[w] = s_[w][j];
+      Xoshiro256pp e = Xoshiro256pp::from_state(st);
+      u128 m = static_cast<u128>(e()) * static_cast<u128>(bound);
+      while (static_cast<std::uint64_t>(m) < threshold) {
+        m = static_cast<u128>(e()) * static_cast<u128>(bound);
+      }
+      hi[j] = static_cast<std::uint64_t>(m >> 64);
+      for (int w = 0; w < 4; ++w) s_[w][j] = e.state()[w];
+    }
+  }
+
+  V s_[4];
 };
 
 /// Derive a fresh, decorrelated seed for trial #index of experiment `tag`.
@@ -140,3 +289,5 @@ constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t tag,
 }
 
 }  // namespace ppsim::core
+
+#pragma GCC diagnostic pop

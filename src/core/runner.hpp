@@ -73,6 +73,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
 #include "core/ring.hpp"
 #include "core/rng.hpp"
 #include "core/wordlane.hpp"
@@ -159,6 +163,25 @@ template <typename P>
 concept WordKernelRunnable =
     HasWordKernel<P> && !WantsOracle<P> && !HasTokenCensus<P> &&
     std::equality_comparable<typename P::State>;
+
+/// Protocols whose word kernel also instantiates at 32-bit element width
+/// (the regime-narrowed layout: two packed states per 64 bits of register).
+/// `word_fits_narrow(layout)` is the capacity probe — true only when every
+/// field of the layout lands inside 32 bits, so the u32 mirror is lossless
+/// and the same clamp/round-trip fallback contract applies unchanged. Used
+/// by EnsembleRunner: at the small n where narrow layouts exist, the
+/// cross-ring lockstep lane carries twice the rings per vector register.
+template <typename P>
+concept HasNarrowWordKernel =
+    HasWordKernel<P> &&
+    requires(const typename P::WordLayout& lay,
+             const typename P::WordKernelConsts& kc, std::uint32_t& hw,
+             HalfVec8& h8, HalfVec16& h16) {
+      { P::word_fits_narrow(lay) } -> std::convertible_to<bool>;
+      P::apply_word_narrow_one(hw, hw, kc);
+      P::apply_word_narrow_x8(h8, h8, kc);
+      P::apply_word_narrow_x16(h16, h16, kc);
+    };
 
 namespace detail {
 /// Storage types for the word layout / kernel constants: the protocol's
@@ -422,6 +445,31 @@ struct WordGroupDriver {
 #endif
   }
 
+  /// Engagement floor for the single-ring grouped path: the estimated
+  /// probability that a full group of G draws is pairwise disjoint. Below
+  /// it the grouped path degrades to (mostly) scalar word steps plus the
+  /// classification overhead and measures *slower* than the scalar batched
+  /// loop — the honest 0.72x cell at n = 64 in PR 5's table.
+  static constexpr double kEngageMinDisjoint = 0.5;
+
+  /// Measured-engagement heuristic for the single-ring grouped path. Each
+  /// prior draw in a group occupies two adjacent agents, conflicting with
+  /// ~4 of the n (2n undirected) arcs, so a group of G draws is fully
+  /// disjoint with probability ~ prod_{j<G} (1 - 4j/n). True when that
+  /// estimate clears kEngageMinDisjoint for the ISA's group width — e.g.
+  /// at G = 8: n = 1024 -> 0.90 (engage), n = 256 -> 0.64 (engage),
+  /// n = 64 -> 0.12 (stay scalar). Cross-ring lockstep lanes are never
+  /// gated: they need no disjointness proof.
+  [[nodiscard]] static bool single_ring_engaged(int n) noexcept {
+    const int g = isa_level() == 2 ? kLanesOf<WordVec8> : kWordLanes;
+    double p = 1.0;
+    for (int j = 1; j < g; ++j) {
+      const double q = 1.0 - 4.0 * static_cast<double>(j) / n;
+      p *= q > 0.0 ? q : 0.0;
+    }
+    return p >= kEngageMinDisjoint;
+  }
+
   static void run_block(std::uint64_t* words, int n, std::uint64_t bound,
                         std::uint64_t threshold, Xoshiro256pp& rng,
                         RingClock& clk, const Consts& kc, std::uint64_t k) {
@@ -479,12 +527,58 @@ struct WordGroupDriver {
     ++clk.steps;
   }
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  /// Hardware gather/scatter for the 8-lane clones: one instruction each
+  /// instead of a per-lane insert/extract chain (the chain costs ~20 front
+  /// end uops per vector and a stack round-trip). Deliberately NOT
+  /// always_inline: the surrounding templates carry no target attribute, so
+  /// a forced inline would be a target mismatch — as plain target functions
+  /// these are legal to *call* from anywhere, and the inliner still folds
+  /// them into the avx512 clones where the attributes match. Only 8-lane
+  /// instantiations reach them (guarded by if constexpr), and those only
+  /// ever execute inside the avx512 clones. The scatters are safe by
+  /// construction: indices within one scatter are pairwise distinct
+  /// (disjoint group members, or one agent per disjoint ring).
+  __attribute__((
+      target("avx512f,avx512dq,avx512bw,avx512vl"))) static inline WordVec8
+  gather8(const std::uint64_t* words, const int* idx) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return (WordVec8)_mm512_i32gather_epi64(vi, words, 8);
+  }
+  __attribute__((
+      target("avx512f,avx512dq,avx512bw,avx512vl"))) static inline void
+  scatter8(std::uint64_t* words, const int* idx, const WordVec8& v) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    _mm512_i32scatter_epi64(words, vi, (__m512i)v, 8);
+  }
+  /// Absolute-address forms for the cross-ring lockstep lane, where every
+  /// lane reads a different ring's array: the address vector is
+  /// per-ring-base + in-ring offset, gathered at scale 1 off a null base.
+  __attribute__((
+      target("avx512f,avx512dq,avx512bw,avx512vl"))) static inline WordVec8
+  gather8_addr(const WordVec8& addr) {
+    return (WordVec8)_mm512_i64gather_epi64((__m512i)addr, nullptr, 1);
+  }
+  __attribute__((
+      target("avx512f,avx512dq,avx512bw,avx512vl"))) static inline void
+  scatter8_addr(const WordVec8& addr, const WordVec8& v) {
+    _mm512_i64scatter_epi64(nullptr, (__m512i)addr, (__m512i)v, 1);
+  }
+  static constexpr bool kHaveHwGather = true;
+#else
+  static constexpr bool kHaveHwGather = false;
+#endif
+
   /// Gather/scatter one group's operand words (G = lanes of VW).
   template <typename VW>
   [[gnu::always_inline]] static inline VW gather(const std::uint64_t* words,
                                                  const int* idx) {
     if constexpr (kLanesOf<VW> == 4) {
       return VW{words[idx[0]], words[idx[1]], words[idx[2]], words[idx[3]]};
+    } else if constexpr (kHaveHwGather) {
+      return gather8(words, idx);
     } else {
       return VW{words[idx[0]], words[idx[1]], words[idx[2]], words[idx[3]],
                 words[idx[4]], words[idx[5]], words[idx[6]], words[idx[7]]};
@@ -494,7 +588,11 @@ struct WordGroupDriver {
   [[gnu::always_inline]] static inline void scatter(std::uint64_t* words,
                                                     const int* idx,
                                                     const VW& v) {
-    for (int j = 0; j < kLanesOf<VW>; ++j) words[idx[j]] = v[j];
+    if constexpr (kLanesOf<VW> == 8 && kHaveHwGather) {
+      scatter8(words, idx, v);
+    } else {
+      for (int j = 0; j < kLanesOf<VW>; ++j) words[idx[j]] = v[j];
+    }
   }
 
   /// OR-fold of all lanes (leader-bit change probe).
@@ -531,16 +629,125 @@ struct WordGroupDriver {
     scatter(words, ib, wb);
     if constexpr (HasLeaderOutput<P>) {
       const VW dl = (wa ^ oa) | (wb ^ ob);
-      if ((orfold(dl) & 1) == 0) {
+      if ((orfold(dl) & 1) == 0) [[likely]] {
         clk.steps += static_cast<std::uint64_t>(G);
       } else {
-        for (int j = 0; j < G; ++j) {
-          census_leader_change(oa[j], ob[j], wa[j], wb[j], clk, clk.steps);
-          ++clk.steps;
-        }
+        census_replay<VW>(oa, ob, wa, wb, clk);
       }
     } else {
       clk.steps += static_cast<std::uint64_t>(G);
+    }
+  }
+
+  /// Per-lane census replay of one group whose update flipped some leader
+  /// bit. Rare at steady state, so outlined cold: inlining it would keep a
+  /// second copy of the group's operands live across the hot loop and push
+  /// the register allocator into spilling the kernel's temporaries.
+  template <typename VW>
+  [[gnu::cold, gnu::noinline]] static void census_replay(const VW& oa,
+                                                         const VW& ob,
+                                                         const VW& wa,
+                                                         const VW& wb,
+                                                         RingClock& clk) {
+    for (int j = 0; j < kLanesOf<VW>; ++j) {
+      census_leader_change(oa[j], ob[j], wa[j], wb[j], clk, clk.steps);
+      ++clk.steps;
+    }
+  }
+
+  /// Cold outlined per-lane census replay for the cross-ring lockstep
+  /// blocks (frozen-clock contract: the running step rides as step0[j]+s).
+  /// V is the block's lane type — u64 lanes (wide) or u32 lanes (narrow).
+  template <typename V>
+  [[gnu::cold, gnu::noinline]] static void census_replay_rings(
+      const V& oa, const V& ob, const V& wa, const V& wb, RingClock* clk,
+      const std::uint64_t* step0, std::uint64_t s) {
+    for (int j = 0; j < kLanesOf<V>; ++j) {
+      census_leader_change(oa[j], ob[j], wa[j], wb[j], clk[j], step0[j] + s);
+    }
+  }
+
+  /// Conflicted-group fallback, outlined cold for the same register-pressure
+  /// reason as census_replay: an overlap inside a half degrades the group to
+  /// exact one-at-a-time scalar steps; a cross-half-only overlap (G == 8)
+  /// runs the two halves as sequential half-width groups (first half's
+  /// stores land before the second half's loads).
+  template <typename VW>
+  [[gnu::cold, gnu::noinline]] static void run_group_conflicted(
+      std::uint64_t* words, const int* ia, const int* ib, int in_half,
+      const Consts& kc, RingClock& clk) {
+    constexpr int G = kLanesOf<VW>;
+    if (in_half != 0) {
+      for (int j = 0; j < G; ++j) step_one(words, ia[j], ib[j], kc, clk);
+    } else if constexpr (G == 8) {
+      run_group<WordVec>(words, ia, ib, kc, clk);
+      run_group<WordVec>(words, ia + 4, ib + 4, kc, clk);
+    }
+  }
+
+  /// Vectorized pairwise-overlap classification of one group of G arcs.
+  ///
+  /// Every arc's endpoint set is {m, m+1 mod n} for m = arc mod n — the
+  /// forward and reversed arcs of an edge share endpoints (core/ring.hpp
+  /// arc_endpoints) — so two arcs overlap iff their m-values differ by
+  /// 0, 1, or n-1 (mod n). That collapses the O(G^2) four-way equality
+  /// scan (112 scalar compares at G = 8) into G-lane difference probes
+  /// against lane rotations: rotation r compares lane i with lane
+  /// (i+r) mod G, and rotations 1..G/2 cover every unordered pair. The
+  /// common case (no overlap anywhere: ~99.3% of groups at n = 16384)
+  /// folds the rotation hits into one OR and returns without ever
+  /// materializing the in-half/cross split.
+  template <int G>
+  [[gnu::always_inline]] static inline void classify_group(const int* pm,
+                                                           int n,
+                                                           int& half_conf,
+                                                           int& cross_conf) {
+    static_assert(G == 4 || G == 8);
+    if constexpr (G == 8) {
+      HalfVec8S a;
+      __builtin_memcpy(&a, pm, sizeof(a));
+      const HalfVec8S vn = vbroadcast<HalfVec8S>(static_cast<std::uint64_t>(n));
+      const HalfVec8S v1 = vbroadcast<HalfVec8S>(1);
+      const HalfVec8S vn1 = vn - v1;
+      const auto probe = [&](HalfVec8S rot) __attribute__((always_inline)) {
+        HalfVec8S t = a - rot;        // in [-(n-1), n-1]
+        t += vn & (t >> 31);          // mod n, in [0, n-1]
+        return (t == HalfVec8S{}) | (t == v1) | (t == vn1);
+      };
+      const HalfVec8S h1 = probe(__builtin_shufflevector(a, a, 1, 2, 3, 4, 5, 6, 7, 0));
+      const HalfVec8S h2 = probe(__builtin_shufflevector(a, a, 2, 3, 4, 5, 6, 7, 0, 1));
+      const HalfVec8S h3 = probe(__builtin_shufflevector(a, a, 3, 4, 5, 6, 7, 0, 1, 2));
+      const HalfVec8S h4 = probe(__builtin_shufflevector(a, a, 4, 5, 6, 7, 0, 1, 2, 3));
+      if (orfold((WordVec)(h1 | h2) | (WordVec)(h3 | h4)) == 0) [[likely]] {
+        half_conf = 0;
+        cross_conf = 0;
+        return;
+      }
+      // Rotation r pairs lane i with lane (i+r) mod 8; the pair crosses
+      // the half boundary iff exactly one of the two lane ids is >= 4.
+      constexpr HalfVec8S kIH1 = {-1, -1, -1, 0, -1, -1, -1, 0};
+      constexpr HalfVec8S kIH2 = {-1, -1, 0, 0, -1, -1, 0, 0};
+      constexpr HalfVec8S kIH3 = {-1, 0, 0, 0, -1, 0, 0, 0};
+      const HalfVec8S ih = (h1 & kIH1) | (h2 & kIH2) | (h3 & kIH3);
+      const HalfVec8S cr = (h1 & ~kIH1) | (h2 & ~kIH2) | (h3 & ~kIH3) | h4;
+      half_conf = orfold((WordVec)ih) != 0;
+      cross_conf = orfold((WordVec)cr) != 0;
+    } else {
+      HalfVec4S a;
+      __builtin_memcpy(&a, pm, sizeof(a));
+      const HalfVec4S vn = vbroadcast<HalfVec4S>(static_cast<std::uint64_t>(n));
+      const HalfVec4S v1 = vbroadcast<HalfVec4S>(1);
+      const HalfVec4S vn1 = vn - v1;
+      const auto probe = [&](HalfVec4S rot) __attribute__((always_inline)) {
+        HalfVec4S t = a - rot;
+        t += vn & (t >> 31);
+        return (t == HalfVec4S{}) | (t == v1) | (t == vn1);
+      };
+      const HalfVec4S h1 = probe(__builtin_shufflevector(a, a, 1, 2, 3, 0));
+      const HalfVec4S h2 = probe(__builtin_shufflevector(a, a, 2, 3, 0, 1));
+      const HalfVec4S any = h1 | h2;
+      half_conf = (any[0] | any[1] | any[2] | any[3]) != 0;
+      cross_conf = 0;  // no half split at G == 4 (see run_impl)
     }
   }
 
@@ -558,49 +765,57 @@ struct WordGroupDriver {
     // escapes cannot alias, so the broadcasts hoist out of the loop.
     const Consts kc = kc0;
     constexpr int G = kLanesOf<VW>;
-    while (k >= static_cast<std::uint64_t>(G)) {
-      int ia[G];
-      int ib[G];
+    int ia[G] = {};  // zero-init: k < G legitimately skips the prologue draw
+    int ib[G] = {};
+    int in_half = 0;
+    int cross = 0;
+    // Draw one group's arcs and run the pairwise-overlap classification
+    // (vectorized, see classify_group). At G == 8 the cross-half overlaps
+    // are tracked separately: the two halves
+    // can still run vectorized, just sequentially (first half's stores land
+    // before the second half's loads). Overlap *inside* a half degrades the
+    // whole group to exact one-at-a-time scalar steps.
+    const auto draw_group = [&](int* pa, int* pb, int& half_conf,
+                                int& cross_conf) __attribute__((
+        always_inline)) {
+      int pm[G];
       for (int j = 0; j < G; ++j) {
         const int arc =
             static_cast<int>(rng.bounded_with_threshold(bound, threshold));
         const ArcEndpoints e = arc_endpoints(arc, n);
-        ia[j] = e.initiator;
-        ib[j] = e.responder;
+        pa[j] = e.initiator;
+        pb[j] = e.responder;
+        pm[j] = arc < n ? arc : arc - n;  // edge id shared by both arc dirs
       }
-      // Pairwise-overlap classification. At G == 8 the cross-half overlaps
-      // are tracked separately: the two halves can still run vectorized,
-      // just sequentially (first half\'s stores land before the second
-      // half\'s loads). Overlap *inside* a half degrades the whole group to
-      // exact one-at-a-time scalar steps.
-      int in_half = 0;
-      int cross = 0;
-      for (int x = 1; x < G; ++x) {
-        for (int y = 0; y < x; ++y) {
-          const int hit = static_cast<int>(ia[x] == ia[y]) |
-                          static_cast<int>(ia[x] == ib[y]) |
-                          static_cast<int>(ib[x] == ia[y]) |
-                          static_cast<int>(ib[x] == ib[y]);
-          if (G == 8 && x >= G / 2 && y < G / 2) {
-            cross |= hit;
-          } else {
-            in_half |= hit;
-          }
-        }
-      }
-      if (in_half != 0) [[unlikely]] {
-        for (int j = 0; j < G; ++j) step_one(words, ia[j], ib[j], kc, clk);
-      } else if constexpr (G == 8) {
-        if (cross != 0) [[unlikely]] {
-          run_group<WordVec>(words, ia, ib, kc, clk);
-          run_group<WordVec>(words, ia + 4, ib + 4, kc, clk);
-        } else {
-          run_group<VW>(words, ia, ib, kc, clk);
-        }
+      classify_group<G>(pm, n, half_conf, cross_conf);
+    };
+    if (k >= static_cast<std::uint64_t>(G)) draw_group(ia, ib, in_half, cross);
+    while (k >= static_cast<std::uint64_t>(G)) {
+      // Software pipeline: the next group's serial draw chain (one scalar
+      // stream — inherently sequential) issues ahead of this group's
+      // kernel, so the two overlap in the out-of-order window instead of
+      // serializing. Draws depend only on RNG state, never on words, so
+      // the stream order is untouched.
+      int na[G];
+      int nb[G];
+      int nih = 0;
+      int ncr = 0;
+      const bool more = k >= 2 * static_cast<std::uint64_t>(G);
+      if (more) draw_group(na, nb, nih, ncr);
+      if ((in_half | cross) != 0) [[unlikely]] {
+        run_group_conflicted<VW>(words, ia, ib, in_half, kc, clk);
       } else {
         run_group<VW>(words, ia, ib, kc, clk);
       }
       k -= static_cast<std::uint64_t>(G);
+      if (more) {
+        for (int j = 0; j < G; ++j) {
+          ia[j] = na[j];
+          ib[j] = nb[j];
+        }
+        in_half = nih;
+        cross = ncr;
+      }
     }
     while (k > 0) {
       const int arc =
@@ -616,12 +831,19 @@ struct WordGroupDriver {
   /// Cross-ring lockstep block (the ensemble kernel lane's main engine):
   /// advance `nrings` independent rings `k` interactions each, one vector
   /// lane per ring. Rings never share storage, so — unlike the single-ring
-  /// grouped path — no disjointness proof is needed, every iteration runs
-  /// the full-width kernel, and the per-lane RNG streams give the core G
-  /// independent generator chains to overlap. Per-ring trajectories are
-  /// bit-identical to the single-ring engines by construction (each ring
-  /// consumes exactly its own stream in order; lockstep only changes the
-  /// interleaving *between* rings, which share nothing).
+  /// grouped path — no disjointness proof is needed and every iteration
+  /// runs the full-width kernel. The G per-ring RNG streams advance as SIMD
+  /// columns of one XoshiroLanes engine (one vector xoshiro step + one
+  /// vector Lemire product per iteration instead of G scalar draws — the
+  /// frontend cost PR 5 measured as the lane's bottleneck), bit-identical
+  /// per column to the scalar engines, which are stored back at block end.
+  /// The draw for step s+1 issues *before* the kernel of step s (arcs
+  /// depend only on RNG state, never on words), so the draw chain and the
+  /// kernel's long dependency chain overlap in the out-of-order window
+  /// instead of serializing. Per-ring trajectories are bit-identical to
+  /// the single-ring engines by construction (each ring consumes exactly
+  /// its own stream in order; lockstep only changes the interleaving
+  /// *between* rings, which share nothing).
   template <typename VW>
   [[gnu::always_inline]] static inline void rings_impl(
       std::uint64_t* words_base, std::size_t ring_stride, const int* rings,
@@ -644,46 +866,124 @@ struct WordGroupDriver {
         clk[j] = clks[r];
         step0[j] = clk[j].steps;
       }
+      XoshiroLanes<VW> lanes;
+      lanes.load(rng);
       // clk.steps stays frozen during the block (every ring advances
       // exactly k), so the rare census path takes the running step as an
       // argument and the hot loop never touches the clocks.
-      for (std::uint64_t s = 0; s < k; ++s) {
-        int ia[G];
-        int ib[G];
+      if constexpr (kLanesOf<VW> == 8 && kHaveHwGather) {
+        // Fully vectorized lane: endpoints stay SIMD columns end to end.
+        // Each lane's operand address is ring-base + agent*8, so one
+        // absolute-address hardware gather/scatter per operand replaces
+        // the per-lane extract/insert chains (~100 front-end uops/step).
+        // Scatter lanes never collide: one agent per disjoint ring.
+        VW vbase;
         for (int j = 0; j < G; ++j) {
-          const int arc = static_cast<int>(
-              rng[j].bounded_with_threshold(bound, threshold));
-          const ArcEndpoints e = arc_endpoints(arc, n);
-          ia[j] = e.initiator;
-          ib[j] = e.responder;
+          vbase[j] = reinterpret_cast<std::uint64_t>(base[j]);
         }
-        VW wa;
-        VW wb;
-        for (int j = 0; j < G; ++j) {
-          wa[j] = base[j][ia[j]];
-          wb[j] = base[j][ib[j]];
-        }
-        const VW oa = wa;
-        const VW ob = wb;
-        if constexpr (G == 4) {
-          P::apply_word_x4(wa, wb, kc);
-        } else {
+        const VW vn = vbroadcast<VW>(static_cast<std::uint64_t>(n));
+        const VW v1 = vbroadcast<VW>(1);
+        // Vector arc_endpoints (same mapping as core/ring.hpp): m is the
+        // arc's edge id, succ its clockwise neighbour; a reversed arc
+        // (undirected only) swaps initiator and responder.
+        const auto draw_vec = [&](VW& pa, VW& pb) __attribute__((
+            always_inline)) {
+          const VW arcs = lanes.bounded_with_threshold(bound, threshold);
+          if constexpr (P::directed) {
+            pa = arcs;
+            const VW t = arcs + v1;
+            pb = t & ~veq(t, vn);
+          } else {
+            const VW rev = vgt(arcs, vn - v1);  // arc >= n: reversed
+            const VW m = arcs - (vn & rev);
+            const VW t = m + v1;
+            const VW succ = t & ~veq(t, vn);
+            pa = (m & ~rev) | (succ & rev);
+            pb = (succ & ~rev) | (m & rev);
+          }
+        };
+        VW via{};
+        VW vib{};
+        if (k > 0) draw_vec(via, vib);
+        for (std::uint64_t s = 0; s < k; ++s) {
+          const VW aa = vbase + (via << 3);
+          const VW ab = vbase + (vib << 3);
+          VW wa = gather8_addr(aa);
+          VW wb = gather8_addr(ab);
+          // Software pipeline: next step's draw ahead of this step's
+          // kernel.
+          VW nva;
+          VW nvb;
+          const bool more = s + 1 < k;
+          if (more) draw_vec(nva, nvb);
+          const VW oa = wa;
+          const VW ob = wb;
           P::apply_word_x8(wa, wb, kc);
+          scatter8_addr(aa, wa);
+          scatter8_addr(ab, wb);
+          if constexpr (HasLeaderOutput<P>) {
+            const VW dl = (wa ^ oa) | (wb ^ ob);
+            if ((orfold(dl) & 1) != 0) [[unlikely]] {
+              census_replay_rings<VW>(oa, ob, wa, wb, clk, step0, s);
+            }
+          }
+          if (more) {
+            via = nva;
+            vib = nvb;
+          }
         }
-        for (int j = 0; j < G; ++j) {
-          base[j][ia[j]] = wa[j];
-          base[j][ib[j]] = wb[j];
-        }
-        if constexpr (HasLeaderOutput<P>) {
-          const VW dl = (wa ^ oa) | (wb ^ ob);
-          if ((orfold(dl) & 1) != 0) [[unlikely]] {
+      } else {
+        int ia[G] = {};  // zero-init: k == 0 legitimately skips the prologue
+        int ib[G] = {};
+        const auto draw = [&](int* pa, int* pb) __attribute__((
+            always_inline)) {
+          const VW arcs = lanes.bounded_with_threshold(bound, threshold);
+          for (int j = 0; j < G; ++j) {
+            const ArcEndpoints e =
+                arc_endpoints(static_cast<int>(arcs[j]), n);
+            pa[j] = e.initiator;
+            pb[j] = e.responder;
+          }
+        };
+        if (k > 0) draw(ia, ib);
+        for (std::uint64_t s = 0; s < k; ++s) {
+          VW wa;
+          VW wb;
+          for (int j = 0; j < G; ++j) {
+            wa[j] = base[j][ia[j]];
+            wb[j] = base[j][ib[j]];
+          }
+          // Software pipeline: next step's draw ahead of this step's kernel.
+          int na[G];
+          int nb[G];
+          const bool more = s + 1 < k;
+          if (more) draw(na, nb);
+          const VW oa = wa;
+          const VW ob = wb;
+          if constexpr (G == 4) {
+            P::apply_word_x4(wa, wb, kc);
+          } else {
+            P::apply_word_x8(wa, wb, kc);
+          }
+          for (int j = 0; j < G; ++j) {
+            base[j][ia[j]] = wa[j];
+            base[j][ib[j]] = wb[j];
+          }
+          if constexpr (HasLeaderOutput<P>) {
+            const VW dl = (wa ^ oa) | (wb ^ ob);
+            if ((orfold(dl) & 1) != 0) [[unlikely]] {
+              census_replay_rings<VW>(oa, ob, wa, wb, clk, step0, s);
+            }
+          }
+          if (more) {
             for (int j = 0; j < G; ++j) {
-              census_leader_change(oa[j], ob[j], wa[j], wb[j], clk[j],
-                                   step0[j] + s);
+              ia[j] = na[j];
+              ib[j] = nb[j];
             }
           }
         }
       }
+      lanes.store(rng);
       for (int j = 0; j < G; ++j) {
         const int r = rg[j];
         clk[j].steps = step0[j] + k;
@@ -699,6 +999,196 @@ struct WordGroupDriver {
                    bound, threshold, rngs[r], clks[r], kc, k);
     }
   }
+
+  /// Cross-ring lockstep block over the *narrow* (u32) mirror: identical
+  /// structure to rings_impl, but one 32-bit element per ring — G = 8 rings
+  /// in a 32-byte register (HalfVec8), 16 in a 64-byte one (HalfVec16). The
+  /// G per-ring streams still need G full 64-bit xoshiro columns, so the
+  /// group carries G/8 eight-lane engines. Same software pipeline, same
+  /// frozen-clock census contract, bit-identical per-ring trajectories.
+  template <typename VH>
+  [[gnu::always_inline]] static inline void rings_narrow_impl(
+      std::uint32_t* words_base, std::size_t ring_stride, const int* rings,
+      int nrings, int n, std::uint64_t bound, std::uint64_t threshold,
+      Xoshiro256pp* rngs, RingClock* clks, const Consts& kc0, std::uint64_t k)
+    requires HasNarrowWordKernel<P>
+  {
+    const Consts kc = kc0;
+    constexpr int G = kLanesOf<VH>;
+    constexpr int kEngineLanes = kLanesOf<WordVec8>;
+    static_assert(G % kEngineLanes == 0);
+    constexpr int NE = G / kEngineLanes;
+    int i = 0;
+    for (; i + G <= nrings; i += G) {
+      const int* rg = rings + i;
+      std::uint32_t* base[G];
+      Xoshiro256pp rng[G];
+      RingClock clk[G];
+      std::uint64_t step0[G];
+      for (int j = 0; j < G; ++j) {
+        const int r = rg[j];
+        base[j] = words_base + ring_stride * static_cast<std::size_t>(r);
+        rng[j] = rngs[r];
+        clk[j] = clks[r];
+        step0[j] = clk[j].steps;
+      }
+      XoshiroLanes<WordVec8> lanes[NE];
+      for (int e = 0; e < NE; ++e) lanes[e].load(rng + kEngineLanes * e);
+      int ia[G] = {};  // zero-init: k == 0 legitimately skips the prologue
+      int ib[G] = {};
+      const auto draw = [&](int* pa, int* pb) __attribute__((always_inline)) {
+        for (int e = 0; e < NE; ++e) {
+          const WordVec8 arcs =
+              lanes[e].bounded_with_threshold(bound, threshold);
+          for (int j = 0; j < kEngineLanes; ++j) {
+            const ArcEndpoints ep =
+                arc_endpoints(static_cast<int>(arcs[j]), n);
+            pa[kEngineLanes * e + j] = ep.initiator;
+            pb[kEngineLanes * e + j] = ep.responder;
+          }
+        }
+      };
+      if (k > 0) draw(ia, ib);
+      for (std::uint64_t s = 0; s < k; ++s) {
+        VH wa;
+        VH wb;
+        for (int j = 0; j < G; ++j) {
+          wa[j] = base[j][ia[j]];
+          wb[j] = base[j][ib[j]];
+        }
+        int na[G];
+        int nb[G];
+        const bool more = s + 1 < k;
+        if (more) draw(na, nb);
+        const VH oa = wa;
+        const VH ob = wb;
+        if constexpr (G == 8) {
+          P::apply_word_narrow_x8(wa, wb, kc);
+        } else {
+          P::apply_word_narrow_x16(wa, wb, kc);
+        }
+        for (int j = 0; j < G; ++j) {
+          base[j][ia[j]] = wa[j];
+          base[j][ib[j]] = wb[j];
+        }
+        if constexpr (HasLeaderOutput<P>) {
+          const VH dl = (wa ^ oa) | (wb ^ ob);
+          // Bit 0 of each u32 lane sits at bits 0 and 32 of the u64 view.
+          const std::uint64_t fold = [&] {
+            if constexpr (sizeof(VH) == sizeof(WordVec)) {
+              return orfold((WordVec)dl);
+            } else {
+              return orfold((WordVec8)dl);
+            }
+          }();
+          if ((fold & 0x1'00000001ull) != 0) [[unlikely]] {
+            census_replay_rings<VH>(oa, ob, wa, wb, clk, step0, s);
+          }
+        }
+        if (more) {
+          for (int j = 0; j < G; ++j) {
+            ia[j] = na[j];
+            ib[j] = nb[j];
+          }
+        }
+      }
+      for (int e = 0; e < NE; ++e) lanes[e].store(rng + kEngineLanes * e);
+      for (int j = 0; j < G; ++j) {
+        const int r = rg[j];
+        clk[j].steps = step0[j] + k;
+        rngs[r] = rng[j];
+        clks[r] = clk[j];
+      }
+    }
+    for (; i < nrings; ++i) {
+      const int r = rings[i];
+      run_narrow_ring(words_base + ring_stride * static_cast<std::size_t>(r),
+                      n, bound, threshold, rngs[r], clks[r], kc, k);
+    }
+  }
+
+ public:
+  /// Scalar per-ring loop over the narrow (u32) mirror — the ensemble's
+  /// per-ring advancement at narrow layouts. Deliberately ungrouped: narrow
+  /// layouts exist only at small n, where the single-ring disjointness
+  /// proof nearly always fails (see single_ring_engaged).
+  static void run_narrow_ring(std::uint32_t* words, int n,
+                              std::uint64_t bound, std::uint64_t threshold,
+                              Xoshiro256pp& rng0, RingClock& clk0,
+                              const Consts& kc0, std::uint64_t k)
+    requires HasNarrowWordKernel<P>
+  {
+    Xoshiro256pp rng = rng0;
+    RingClock clk = clk0;
+    const Consts kc = kc0;
+    for (std::uint64_t s = 0; s < k; ++s) {
+      const int arc =
+          static_cast<int>(rng.bounded_with_threshold(bound, threshold));
+      const ArcEndpoints e = arc_endpoints(arc, n);
+      std::uint32_t wa = words[e.initiator];
+      std::uint32_t wb = words[e.responder];
+      const std::uint32_t oa = wa;
+      const std::uint32_t ob = wb;
+      P::apply_word_narrow_one(wa, wb, kc);
+      words[e.initiator] = wa;
+      words[e.responder] = wb;
+      census_leader_change(oa, ob, wa, wb, clk, clk.steps);
+      ++clk.steps;
+    }
+    rng0 = rng;
+    clk0 = clk;
+  }
+
+  /// Entry point for the narrow cross-ring lockstep block (see
+  /// rings_narrow_impl).
+  static void run_rings_narrow_block(std::uint32_t* words_base,
+                                     std::size_t ring_stride,
+                                     const int* rings, int nrings, int n,
+                                     std::uint64_t bound,
+                                     std::uint64_t threshold,
+                                     Xoshiro256pp* rngs, RingClock* clks,
+                                     const Consts& kc, std::uint64_t k)
+    requires HasNarrowWordKernel<P>
+  {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    const int isa = isa_level();
+    if (isa == 2) {
+      narrow_avx512(words_base, ring_stride, rings, nrings, n, bound,
+                    threshold, rngs, clks, kc, k);
+      return;
+    }
+    if (isa == 1) {
+      narrow_avx2(words_base, ring_stride, rings, nrings, n, bound,
+                  threshold, rngs, clks, kc, k);
+      return;
+    }
+#endif
+    rings_narrow_impl<HalfVec8>(words_base, ring_stride, rings, nrings, n,
+                                bound, threshold, rngs, clks, kc, k);
+  }
+
+ private:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  __attribute__((target("avx512f,avx512dq,avx512bw,avx512vl"))) static void
+  narrow_avx512(std::uint32_t* words_base, std::size_t ring_stride,
+                const int* rings, int nrings, int n, std::uint64_t bound,
+                std::uint64_t threshold, Xoshiro256pp* rngs, RingClock* clks,
+                const Consts& kc, std::uint64_t k)
+    requires HasNarrowWordKernel<P>
+  {
+    rings_narrow_impl<HalfVec16>(words_base, ring_stride, rings, nrings, n,
+                                 bound, threshold, rngs, clks, kc, k);
+  }
+  __attribute__((target("avx2"))) static void narrow_avx2(
+      std::uint32_t* words_base, std::size_t ring_stride, const int* rings,
+      int nrings, int n, std::uint64_t bound, std::uint64_t threshold,
+      Xoshiro256pp* rngs, RingClock* clks, const Consts& kc, std::uint64_t k)
+    requires HasNarrowWordKernel<P>
+  {
+    rings_narrow_impl<HalfVec8>(words_base, ring_stride, rings, nrings, n,
+                                bound, threshold, rngs, clks, kc, k);
+  }
+#endif
 
  public:
   /// Entry point for the cross-ring lockstep block (see rings_impl).
@@ -797,9 +1287,14 @@ class Runner {
       // probe that word_leader really is that bit, so a layout with the
       // flag elsewhere keeps the scalar path instead of corrupting the
       // census.
-      word_active_ = layout_.fits() && P::word_leader(1, layout_) &&
-                     !P::word_leader(0, layout_);
-      if (word_active_) consts_ = P::make_word_consts(layout_);
+      word_capable_ = layout_.fits() && P::word_leader(1, layout_) &&
+                      !P::word_leader(0, layout_);
+      // Below the measured engagement threshold the grouped path loses to
+      // the scalar batched loop (disjointness proofs keep failing), so it
+      // starts disengaged; force_word_path() opts back in.
+      word_active_ = word_capable_ &&
+                     WordGroupDriver<P>::single_ring_engaged(params_.n);
+      if (word_capable_) consts_ = P::make_word_consts(layout_);
     }
   }
 
@@ -858,9 +1353,12 @@ class Runner {
   void step() { apply_arc(static_cast<int>(rng_.bounded(arc_count()))); }
 
   /// True while run(k) dispatches to the protocol's word-packed kernel.
-  /// Always false for protocols without one; drops (permanently) to false
-  /// when a state outside the packed domain enters via set_agent or the
-  /// initial configuration, or after force_scalar_path().
+  /// Always false for protocols without one; starts false below the
+  /// grouped path's engagement threshold (see
+  /// WordGroupDriver::single_ring_engaged — force_word_path() opts back
+  /// in); drops (permanently) to false when a state outside the packed
+  /// domain enters via set_agent or the initial configuration, or after
+  /// force_scalar_path().
   [[nodiscard]] bool word_path_active() const noexcept {
     return word_active_;
   }
@@ -871,9 +1369,19 @@ class Runner {
   void force_scalar_path() {
     sync_states();
     word_active_ = false;
+    word_capable_ = false;
     words_fresh_ = false;
     words_.clear();
     words_.shrink_to_fit();
+  }
+
+  /// Opt into the word kernel below the engagement threshold (tests and
+  /// differential lanes exercise the kernel at small n where the heuristic
+  /// would keep it off). No-op when the kernel is structurally unavailable:
+  /// no word kernel, capacity probe failed, an out-of-domain state was
+  /// seen, or force_scalar_path() was called — those stay scalar forever.
+  void force_word_path() {
+    if constexpr (kWordKernel) word_active_ = word_capable_;
   }
 
   /// Execute `k` uniformly random interactions through the fused fast path
@@ -984,6 +1492,7 @@ class Runner {
       const std::uint64_t w = P::pack_word(agents_[i], layout_);
       if (!(P::unpack_word(w, layout_) == agents_[i])) {
         word_active_ = false;
+        word_capable_ = false;
         return false;
       }
       words_[i] = w;
@@ -1018,6 +1527,7 @@ class Runner {
   bool words_fresh_ = false;            ///< words_ mirrors agents_
   mutable bool states_stale_ = false;   ///< agents_ behind words_
   bool word_active_ = false;            ///< kernel dispatch enabled
+  bool word_capable_ = false;           ///< kernel structurally available
 };
 
 }  // namespace ppsim::core

@@ -344,12 +344,14 @@ template <typename V>
   // Lines 10-11: both color lanes through the one shared code path (black:
   // d = 0, white: d = psi). The black lane may write r.b; the white lane
   // reads it. The output accumulators start here: every already-final
-  // field folds in immediately and its register dies.
+  // field folds in immediately and its register dies. The two-token phase
+  // is deliberately split — the black tokens retire into the accumulators
+  // *before* the white sub-words are even extracted, so at no point do
+  // both colors' token registers overlap the ~30-value live range of a
+  // move_token_lane body (the peak-pressure cut that lets two kernel
+  // instances share the register file; only r_b_m and promote_m carry
+  // between the color lanes).
   const V tok_mask = core::vbroadcast<V>(K.tok_mask);
-  V ltb = (wl >> K.tokb_shift) & tok_mask;
-  V rtb = (wr >> K.tokb_shift) & tok_mask;
-  V ltw = (wl >> K.tokw_shift) & tok_mask;
-  V rtw = (wr >> K.tokw_shift) & tok_mask;
   const V ld0 = l_dist_ip >> K.dist_shift;
   const V rd0 = r_dist_ip >> K.dist_shift;
   V r_b_m = vmask(wr, 1);
@@ -357,13 +359,23 @@ template <typename V>
              (l_last_m & core::vbroadcast<V>(0x4));
   V wr_acc = (wr & core::vbroadcast<V>(K.keep_r)) | r_dist_ip | r_hits_ip |
              r_clock_ip | r_sigr_ip;
-  move_token_lane<0>(ltb, rtb, r_b_m, promote_m, l_dist_ip, l_last_m,
-                     r_last_m, detect_m, l_b_m, ld0, rd0, K);
-  move_token_lane<1>(ltw, rtw, r_b_m, promote_m, l_dist_ip, l_last_m,
-                     r_last_m, detect_m, l_b_m, ld0, rd0, K);
-  wl_acc = wl_acc | (ltb << K.tokb_shift) | (ltw << K.tokw_shift);
-  wr_acc = wr_acc | (rtb << K.tokb_shift) | (rtw << K.tokw_shift) |
-           (r_b_m & core::vbroadcast<V>(0x2));
+  {
+    V ltb = (wl >> K.tokb_shift) & tok_mask;
+    V rtb = (wr >> K.tokb_shift) & tok_mask;
+    move_token_lane<0>(ltb, rtb, r_b_m, promote_m, l_dist_ip, l_last_m,
+                       r_last_m, detect_m, l_b_m, ld0, rd0, K);
+    wl_acc = wl_acc | (ltb << K.tokb_shift);
+    wr_acc = wr_acc | (rtb << K.tokb_shift);
+  }
+  {
+    V ltw = (wl >> K.tokw_shift) & tok_mask;
+    V rtw = (wr >> K.tokw_shift) & tok_mask;
+    move_token_lane<1>(ltw, rtw, r_b_m, promote_m, l_dist_ip, l_last_m,
+                       r_last_m, detect_m, l_b_m, ld0, rd0, K);
+    wl_acc = wl_acc | (ltw << K.tokw_shift);
+    wr_acc = wr_acc | (rtw << K.tokw_shift);
+  }
+  wr_acc = wr_acc | (r_b_m & core::vbroadcast<V>(0x2));
 
   // Deferred become_leader merge (lines 6 and 18; idempotent, and none of
   // leader/bullet/shield/signal_b is read between the promotion sites and
@@ -446,6 +458,42 @@ inline void apply_word_one(std::uint64_t& wl, std::uint64_t& wr,
 [[nodiscard]] constexpr bool word_leader(std::uint64_t w,
                                          const PackedLayout&) noexcept {
   return (w & 1) != 0;
+}
+
+// --- Narrow (32-bit element) instantiations -------------------------------
+//
+// The kernel dataflow above is element-width generic: when the layout fits
+// 32 bits (PackedLayout::fits_narrow — the small-n regime), the same source
+// instantiates at u32 elements and a vector register carries twice the
+// interactions. Correctness of the reinterpretation: vbroadcast truncates
+// every u64 constant mod 2^32, and the kernel's algebra is add/sub/and/or/
+// xor/shift — all homomorphic under truncation — while the signed compares
+// stay valid because a 32-bit layout bounds every non-negative field value
+// below 2^31 and the only wrapped negatives (the dbias/tau arithmetic)
+// wrap identically mod 2^32. Bit-identity to the u64 kernel on narrow
+// layouts is pinned by tests/core/word_kernel_test.cpp.
+
+/// One interaction on two narrow packed words (u32 instantiation,
+/// precomputed constants).
+inline void apply_word_narrow_one(std::uint32_t& wl, std::uint32_t& wr,
+                                  const PlKernelConsts& k) noexcept {
+  packed_detail::apply_word_lanes<std::uint32_t>(wl, wr, k);
+}
+
+/// Eight scheduler-independent interactions in one 32-byte register (the
+/// core::HalfVec8 instantiation).
+[[gnu::always_inline]] inline void apply_word_narrow_x8(
+    core::HalfVec8& wl, core::HalfVec8& wr,
+    const PlKernelConsts& k) noexcept {
+  packed_detail::apply_word_lanes<core::HalfVec8>(wl, wr, k);
+}
+
+/// Sixteen scheduler-independent interactions in one 64-byte register (the
+/// core::HalfVec16 instantiation — AVX-512).
+[[gnu::always_inline]] inline void apply_word_narrow_x16(
+    core::HalfVec16& wl, core::HalfVec16& wr,
+    const PlKernelConsts& k) noexcept {
+  packed_detail::apply_word_lanes<core::HalfVec16>(wl, wr, k);
 }
 
 }  // namespace ppsim::pl

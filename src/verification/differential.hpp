@@ -24,6 +24,19 @@
 //                                scalar batched path Runner::run would
 //                                otherwise never take (force_scalar_path),
 //                                so the delta-census code keeps coverage
+//   G  EnsembleRunner lockstep  — only for word-kernel protocols: ring 0
+//                                (the lanes' seed + initial) plus decoy
+//                                rings advanced together through run(), so
+//                                ring 0 is carried by the cross-ring
+//                                grouped driver and its lane-parallel
+//                                vector RNG — certifying the column-r ==
+//                                scalar-stream-r RNG contract against
+//                                every scalar lane above
+//
+// Lane B calls force_word_path(): at small n the engagement heuristic
+// would route Runner::run to the scalar batched path (lane F's job), and
+// the whole point of lane B is to keep the word kernel under differential
+// fire at every ring size it can represent.
 //
 // The harness advances all lanes in blocks of `check_every` interactions
 // and, at every checkpoint, compares full configurations (operator==),
@@ -86,6 +99,9 @@ struct FuzzReport {
                              ///< accelerated mode (LUT or word kernel)
   bool word_lane = false;    ///< lane B ran (and stayed) on the word kernel
   bool mirror_lane = false;  ///< lane E (checker adapter) participated
+  bool lockstep_lane = false;  ///< lane G ran (and stayed) in word-kernel
+                               ///< mode, i.e. ring 0 went through the
+                               ///< cross-ring vector-RNG driver
   std::string divergence;    ///< first mismatch, human readable; empty if ok
 };
 
@@ -165,6 +181,7 @@ template <typename P, typename M = void, typename FaultState>
   // Lanes A-D, and F for word-kernel protocols.
   core::Runner<P> lane_a(params, initial, cfg.seed);
   core::Runner<P> lane_b(params, initial, cfg.seed);
+  lane_b.force_word_path();  // past the small-n engagement gate (see header)
   core::EnsembleRunner<P> lane_c(params, 1);
   lane_c.force_generic_path();
   lane_c.add_ring(initial, cfg.seed);
@@ -177,6 +194,21 @@ template <typename P, typename M = void, typename FaultState>
   if constexpr (kHaveLaneF) {
     lane_f.emplace(params, initial, cfg.seed);
     lane_f->force_scalar_path();
+  }
+  // Lane G: ring 0 shares the lanes' seed and initial configuration; the
+  // decoys exist only to fill a full SIMD group so ring 0 is advanced as a
+  // vector column of the cross-ring driver (word-kernel protocols only —
+  // for everything else run() degenerates to lane C's per-ring loop).
+  constexpr bool kHaveLaneG = core::Runner<P>::kWordKernel;
+  constexpr int kLockstepRings = 16;  // >= widest cross-ring group (narrow)
+  std::optional<core::EnsembleRunner<P>> lane_g;
+  if constexpr (kHaveLaneG) {
+    lane_g.emplace(params, kLockstepRings);
+    lane_g->add_ring(initial, cfg.seed);
+    for (int r = 1; r < kLockstepRings; ++r)
+      lane_g->add_ring(initial,
+                       core::derive_seed(cfg.seed, 0x10C5u,
+                                         static_cast<std::uint64_t>(r)));
   }
 
   // Lane E: the checker mirror.
@@ -262,6 +294,13 @@ template <typename P, typename M = void, typename FaultState>
                        lane_a.steps()))
         return false;
     }
+    if constexpr (kHaveLaneG) {
+      if (!compare_span("G(ensemble-lockstep)", lane_g->agents(0)))
+        return false;
+      if (!compare_u64("G(ensemble-lockstep)", "steps", lane_g->steps(0),
+                       lane_a.steps()))
+        return false;
+    }
     if constexpr (core::HasLeaderOutput<P>) {
       const auto want_l = static_cast<std::uint64_t>(lane_a.leader_count());
       if (!compare_u64("B(run)", "leader_count",
@@ -277,6 +316,16 @@ template <typename P, typename M = void, typename FaultState>
                        static_cast<std::uint64_t>(lane_d.leader_count(0)),
                        want_l))
         return false;
+      if constexpr (kHaveLaneG) {
+        if (!compare_u64("G(ensemble-lockstep)", "leader_count",
+                         static_cast<std::uint64_t>(lane_g->leader_count(0)),
+                         want_l))
+          return false;
+        if (!compare_u64("G(ensemble-lockstep)", "last_leader_change",
+                         lane_g->last_leader_change(0),
+                         lane_a.last_leader_change()))
+          return false;
+      }
       if (!compare_u64("B(run)", "last_leader_change",
                        lane_b.last_leader_change(),
                        lane_a.last_leader_change()))
@@ -316,6 +365,12 @@ template <typename P, typename M = void, typename FaultState>
                        static_cast<std::uint64_t>(lane_d.token_count(0)),
                        want_t))
         return false;
+      if constexpr (kHaveLaneG) {
+        if (!compare_u64("G(ensemble-lockstep)", "token_count",
+                         static_cast<std::uint64_t>(lane_g->token_count(0)),
+                         want_t))
+          return false;
+      }
     }
     // Ground truth: the incremental censuses must equal a from-scratch
     // recount of the reference configuration.
@@ -371,6 +426,7 @@ template <typename P, typename M = void, typename FaultState>
         if constexpr (kHaveLaneF) lane_f->set_agent(idx, payload);
         lane_c.set_agent(0, idx, payload);
         if (have_lane_d) lane_d.set_agent(0, idx, payload);
+        if constexpr (kHaveLaneG) lane_g->set_agent(0, idx, payload);
         if constexpr (kMirrorable) {
           if (rep.mirror_lane) {
             auto cfg_e = mirror.decode(mirror_id);
@@ -400,6 +456,7 @@ template <typename P, typename M = void, typename FaultState>
     if constexpr (kHaveLaneF) lane_f->run(block);
     lane_c.run_ring(0, block);
     if (have_lane_d) lane_d.run_ring(0, block);
+    if constexpr (kHaveLaneG) lane_g->run(block);  // every ring, lockstep
     if constexpr (kMirrorable) {
       if (rep.mirror_lane) {
         for (std::uint64_t k = 0; k < block; ++k)
@@ -424,6 +481,7 @@ template <typename P, typename M = void, typename FaultState>
   rep.packed_lane =
       have_lane_d && (lane_d.packed_mode() || lane_d.word_kernel_mode());
   rep.word_lane = lane_b.word_path_active();
+  if constexpr (kHaveLaneG) rep.lockstep_lane = lane_g->word_kernel_mode();
   std::uint64_t h = detail::mix64(0x5EEDED, lane_a.steps());
   if constexpr (core::HasLeaderOutput<P>) {
     h = detail::mix64(h, static_cast<std::uint64_t>(lane_a.leader_count()));

@@ -50,6 +50,7 @@ TEST(WordKernelRunner, WordPathMatchesUnbatchedReference) {
     const auto init = pl::random_config(p, cfg);
     Runner<PlProtocol> ref(p, init, 42);   // scalar reference
     Runner<PlProtocol> word(p, init, 42);  // word kernel
+    word.force_word_path();  // past the small-n engagement gate
     ASSERT_TRUE(word.word_path_active());
     core::Xoshiro256pp faults(77);
     for (int round = 0; round < 6; ++round) {
@@ -75,6 +76,7 @@ TEST(WordKernelRunner, ForceScalarPathIsBitIdentical) {
   const auto p = PlParams::make(64, 4);
   const auto init = pl::make_safe_config(p);
   Runner<PlProtocol> word(p, init, 7);
+  word.force_word_path();
   Runner<PlProtocol> scalar(p, init, 7);
   scalar.force_scalar_path();
   EXPECT_FALSE(scalar.word_path_active());
@@ -89,6 +91,7 @@ TEST(WordKernelRunner, OutOfDomainInjectionDropsToScalarExactly) {
   const auto init = pl::random_config(p, cfg);
   Runner<PlProtocol> ref(p, init, 9);
   Runner<PlProtocol> word(p, init, 9);
+  word.force_word_path();
   word.run(1000);
   ref.run_unbatched(1000);
   PlState bad;
@@ -98,7 +101,35 @@ TEST(WordKernelRunner, OutOfDomainInjectionDropsToScalarExactly) {
   word.run(1000);  // round-trip check fails -> permanent scalar fallback
   ref.run_unbatched(1000);
   EXPECT_FALSE(word.word_path_active());
+  word.force_word_path();  // the fallback is permanent: no resurrection
+  EXPECT_FALSE(word.word_path_active());
   expect_same(ref, word, "after out-of-domain fault");
+}
+
+TEST(WordKernelRunner, EngagementGateRoutesSmallRingsToScalar) {
+  // The word path only engages by default when the grouped driver's
+  // disjointness estimate clears the threshold; tiny rings go scalar (the
+  // honest sub-1x cells), big rings engage, and force_word_path restores
+  // the kernel — bit-identically — wherever it is structurally capable.
+  const auto p_small = PlParams::make(16, 4);
+  core::Xoshiro256pp cfg(31);
+  const auto init = pl::random_config(p_small, cfg);
+  Runner<PlProtocol> gated(p_small, init, 13);
+  EXPECT_FALSE(gated.word_path_active());  // capable, but below threshold
+  Runner<PlProtocol> ref(p_small, init, 13);
+  gated.run(2000);
+  ref.run_unbatched(2000);
+  expect_same(ref, gated, "gated-off runner (scalar batched)");
+  gated.force_word_path();
+  EXPECT_TRUE(gated.word_path_active());
+  gated.run(2000);
+  ref.run_unbatched(2000);
+  expect_same(ref, gated, "forced back onto the word kernel");
+
+  const auto p_big = PlParams::make(1024, 4);
+  const std::vector<PlState> zeros(static_cast<std::size_t>(p_big.n));
+  Runner<PlProtocol> big(p_big, zeros, 13);
+  EXPECT_TRUE(big.word_path_active());  // engaged without forcing
 }
 
 TEST(WordKernelRunner, CapacityExceededKeepsScalarPath) {
@@ -255,6 +286,113 @@ TEST(WordKernelEnsemble, RunUntilEachMatchesRunnerRunUntil) {
   }
 }
 
+TEST(WordKernelEnsemble, NarrowLaneMatchesGenericLaneAndRunner) {
+  // Regime-narrowed layout: at n = 16, c1 = 3 the packed image is 31 bits,
+  // so the ensemble keeps a u32 mirror and the cross-ring driver packs two
+  // states per 64 bits of vector register. R = 19 is not a multiple of the
+  // narrow group width, leaving leftovers for the scalar narrow driver.
+  const auto p = PlParams::make(16, 3);
+  ASSERT_TRUE(pl::PackedLayout::make(p).fits_narrow());
+  const int R = 19;
+  EnsembleRunner<PlProtocol> narrow(p, R);
+  EnsembleRunner<PlProtocol> generic(p, R);
+  generic.force_generic_path();
+  std::vector<Runner<PlProtocol>> refs;
+  for (int t = 0; t < R; ++t) {
+    core::Xoshiro256pp cfg(250 + t);
+    const auto init = pl::random_config(p, cfg);
+    narrow.add_ring(init, 800 + t);
+    generic.add_ring(init, 800 + t);
+    refs.emplace_back(p, init, 800 + t);
+  }
+  ASSERT_TRUE(narrow.word_kernel_mode());
+  ASSERT_TRUE(narrow.narrow_word_mode());
+  ASSERT_FALSE(generic.narrow_word_mode());
+  core::Xoshiro256pp faults(321);
+  for (int round = 0; round < 4; ++round) {
+    const std::uint64_t k = 300 + 77 * round;
+    narrow.run(k);
+    generic.run(k);
+    for (auto& ref : refs) ref.run_unbatched(k);
+    for (int t = 0; t < R; ++t) {
+      expect_ring_same(refs[t], narrow, t, "narrow lane");
+      expect_ring_same(refs[t], generic, t, "generic lane");
+    }
+    for (int f = 0; f < 4; ++f) {
+      const int t = static_cast<int>(
+          faults.bounded(static_cast<std::uint64_t>(R)));
+      const int idx = static_cast<int>(
+          faults.bounded(static_cast<std::uint64_t>(p.n)));
+      const PlState s = pl::random_state(p, faults);
+      narrow.set_agent(t, idx, s);
+      generic.set_agent(t, idx, s);
+      refs[static_cast<std::size_t>(t)].set_agent(idx, s);
+    }
+  }
+  EXPECT_TRUE(narrow.narrow_word_mode());  // in-domain storms keep the lane
+}
+
+TEST(WordKernelEnsemble, NarrowCrossRingLockstepMatchesPerRing) {
+  const auto p = PlParams::make(16, 3);
+  const int R = 17;  // one leftover past a full 16-wide narrow group
+  EnsembleRunner<PlProtocol> lockstep(p, R);
+  EnsembleRunner<PlProtocol> per_ring(p, R);
+  for (int t = 0; t < R; ++t) {
+    core::Xoshiro256pp cfg(170 + t);
+    const auto init = pl::random_config(p, cfg);
+    lockstep.add_ring(init, 600 + t);
+    per_ring.add_ring(init, 600 + t);
+  }
+  ASSERT_TRUE(lockstep.narrow_word_mode());
+  lockstep.run(3000);
+  for (int t = 0; t < R; ++t) per_ring.run_ring(t, 3000);
+  for (int t = 0; t < R; ++t) {
+    ASSERT_EQ(lockstep.steps(t), per_ring.steps(t));
+    ASSERT_EQ(lockstep.leader_count(t), per_ring.leader_count(t));
+    ASSERT_EQ(lockstep.last_leader_change(t), per_ring.last_leader_change(t));
+    const auto sa = lockstep.agents(t);
+    const auto sb = per_ring.agents(t);
+    for (int i = 0; i < p.n; ++i) ASSERT_EQ(sa[i], sb[i]);
+  }
+}
+
+TEST(WordKernelEnsemble, NarrowOutOfDomainFallbackIsExact) {
+  const auto p = PlParams::make(16, 3);
+  EnsembleRunner<PlProtocol> ens(p, 2);
+  std::vector<Runner<PlProtocol>> refs;
+  for (int t = 0; t < 2; ++t) {
+    core::Xoshiro256pp cfg(90 + t);
+    const auto init = pl::random_config(p, cfg);
+    ens.add_ring(init, 140 + t);
+    refs.emplace_back(p, init, 140 + t);
+  }
+  ASSERT_TRUE(ens.narrow_word_mode());
+  ens.run(500);
+  for (auto& r : refs) r.run_unbatched(500);
+  PlState bad;
+  bad.token_w = pl::Token{1, 0, 9};  // carry outside {0, 1}
+  ens.set_agent(0, 2, bad);
+  refs[0].set_agent(2, bad);
+  EXPECT_FALSE(ens.word_kernel_mode());
+  EXPECT_FALSE(ens.narrow_word_mode());
+  ens.run(500);
+  for (auto& r : refs) r.run_unbatched(500);
+  for (int t = 0; t < 2; ++t) expect_ring_same(refs[t], ens, t, "fallback");
+}
+
+TEST(WordKernelEnsemble, NarrowProbeRefusesWideLayouts) {
+  // One clock bit over the line: n = 16, c1 = 4 packs to 33 bits, so the
+  // ensemble must keep the 64-bit mirror (and still run the word lane).
+  const auto p = PlParams::make(16, 4);
+  EXPECT_TRUE(pl::PackedLayout::make(p).fits());
+  EXPECT_FALSE(pl::PackedLayout::make(p).fits_narrow());
+  EnsembleRunner<PlProtocol> ens(p, 1);
+  core::Xoshiro256pp cfg(8);
+  ens.add_ring(pl::random_config(p, cfg), 3);
+  EXPECT_TRUE(ens.word_kernel_mode());
+  EXPECT_FALSE(ens.narrow_word_mode());
+}
+
 TEST(WordKernelCampaign, DifferentialReportsByteIdenticalAcrossThreads) {
   const auto p = PlParams::make(24, 4);
   verification::FuzzConfig cfg;
@@ -280,6 +418,7 @@ TEST(WordKernelCampaign, DifferentialReportsByteIdenticalAcrossThreads) {
     EXPECT_EQ(one[t].final_digest, four[t].final_digest);
     EXPECT_TRUE(one[t].packed_lane);  // ensemble kernel lane participated
     EXPECT_TRUE(one[t].word_lane);    // Runner word path stayed active
+    EXPECT_TRUE(one[t].lockstep_lane);  // lane G rode the vector-RNG driver
   }
 }
 

@@ -164,6 +164,9 @@ TEST(Differential, PlProtocolLanes) {
   // reference; in-domain fault storms keep them active.
   EXPECT_TRUE(rep.word_lane);
   EXPECT_TRUE(rep.packed_lane);
+  // Lane G: ring 0 advanced as a column of the cross-ring vector-RNG
+  // driver, lockstep with decoy rings, still bit-identical to lane A.
+  EXPECT_TRUE(rep.lockstep_lane);
 }
 
 TEST(Differential, PlPackedLanesAtLargerRingsWithStorms) {
@@ -184,6 +187,7 @@ TEST(Differential, PlPackedLanesAtLargerRingsWithStorms) {
     EXPECT_TRUE(rep.ok) << "n=" << n << ": " << rep.divergence;
     EXPECT_TRUE(rep.word_lane) << n;
     EXPECT_TRUE(rep.packed_lane) << n;
+    EXPECT_TRUE(rep.lockstep_lane) << n;
   }
 }
 
@@ -256,6 +260,42 @@ TEST(Differential, BrokenWordKernelIsDetected) {
       rep.divergence.find("B(run)") != std::string::npos ||
       rep.divergence.find("D(ensemble-packed)") != std::string::npos;
   EXPECT_TRUE(named_word_lane) << rep.divergence;
+}
+
+TEST(Differential, BrokenLockstepVectorLaneIsDetected) {
+  // The canary for the lane-parallel (vector-RNG) cross-ring driver: in a
+  // narrow regime only lane G consumes the vector narrow kernels — lane B
+  // runs the 64-bit kernel and lane D's single ring goes through the
+  // scalar narrow entry — so a bit of drift in the vector entries must be
+  // caught at the first checkpoint and named as the lockstep lane. This is
+  // the flipped-bit canary for the whole draw-pack-kernel column: any
+  // desync between a vector column and its scalar stream (RNG included)
+  // surfaces exactly here.
+  struct BrokenNarrowPl : pl::PlProtocol {
+    static void apply_word_narrow_x8(core::HalfVec8& l, core::HalfVec8& r,
+                                     const WordKernelConsts& k) noexcept {
+      pl::apply_word_narrow_x8(l, r, k);
+      for (int j = 0; j < 8; ++j) r[j] ^= 0x2u;  // flip r.b per column
+    }
+    static void apply_word_narrow_x16(core::HalfVec16& l, core::HalfVec16& r,
+                                      const WordKernelConsts& k) noexcept {
+      pl::apply_word_narrow_x16(l, r, k);
+      for (int j = 0; j < 16; ++j) r[j] ^= 0x2u;
+    }
+  };
+  static_assert(core::Runner<BrokenNarrowPl>::kWordKernel);
+  const auto p = pl::PlParams::make(16, 3);  // 31-bit image: narrow regime
+  ASSERT_TRUE(pl::PackedLayout::make(p).fits_narrow());
+  core::Xoshiro256pp cfg_rng(6);
+  FuzzConfig cfg;
+  cfg.seed = 17;
+  cfg.steps = 2048;
+  cfg.check_every = 32;
+  const auto rep = run_differential<BrokenNarrowPl>(
+      p, pl::random_config(p, cfg_rng), cfg, pl_fault);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.divergence.find("G(ensemble-lockstep)"), std::string::npos)
+      << rep.divergence;
 }
 
 TEST(Differential, EliminationPackedAndMirrorLanes) {
