@@ -41,6 +41,16 @@
 // `plan.check_every` steps (0 = every ~n), so stabilization and recovery
 // hitting times are quantized up to that granularity; fault injections
 // themselves land at exact offsets.
+//
+// Topology and scheduler faults: ScenarioSpec is templated on a
+// core::Topology (ring by default — existing campaigns are untouched) and
+// carries an optional core::SchedulerFaults (omission probability and/or
+// biased arc distribution). Faults are applied identically to the
+// standalone-Runner reference path and to every ensemble ring, and the
+// loss stream is derived per trial from the trial seed (seed ^
+// core::kLossStreamTag), so the bit-identity and thread-count-invariance
+// contracts above carry over verbatim to faulted campaigns
+// (tests/analysis/topology_campaign_test.cpp).
 #pragma once
 
 #include <algorithm>
@@ -58,6 +68,7 @@
 #include "core/rng.hpp"
 #include "core/runner.hpp"
 #include "core/statistics.hpp"
+#include "core/topology.hpp"
 
 namespace ppsim::analysis {
 
@@ -109,10 +120,11 @@ struct TrialPlan {
 /// EnsembleRunner alike), `recovered` is the stabilization/recovery
 /// predicate (for the study protocols: membership in the safe set).
 /// analysis/adversary.hpp builds the standard instances.
-template <typename P>
+template <typename P, typename Topo = core::RingTopology>
 struct ScenarioSpec {
   using Params = typename P::Params;
   using State = typename P::State;
+  using Topology = Topo;
 
   std::string name;
   std::function<std::vector<State>(const Params&, core::Xoshiro256pp&)>
@@ -120,9 +132,14 @@ struct ScenarioSpec {
   /// Executed in at_step order (stably sorted per trial; same-step events
   /// keep their declared order).
   std::vector<FaultEvent> schedule;
-  std::function<void(core::RingView<P>, int, core::Xoshiro256pp&)> inject;
+  std::function<void(core::RingView<P, Topo>, int, core::Xoshiro256pp&)>
+      inject;
   std::function<bool(std::span<const State>, const Params&)> recovered;
   TrialPlan plan;
+  /// Scheduler faults active for the *whole* trial (stabilization and
+  /// recovery phases alike): omission probability and/or biased arc
+  /// distribution. Default-inactive — the clean fast paths stay engaged.
+  core::SchedulerFaults sched_faults;
 };
 
 /// Outcome of one trial.
@@ -148,9 +165,9 @@ namespace detail {
 
 /// `spec.schedule` stably sorted by at_step (same-step events keep their
 /// declared order) — the execution order of every trial.
-template <typename P>
+template <typename P, typename Topo>
 [[nodiscard]] std::vector<FaultEvent> sorted_schedule(
-    const ScenarioSpec<P>& spec) {
+    const ScenarioSpec<P, Topo>& spec) {
   std::vector<FaultEvent> schedule = spec.schedule;
   std::stable_sort(schedule.begin(), schedule.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -163,15 +180,16 @@ template <typename P>
 /// path, kept as the byte-identity reference for the ensemble-sharded
 /// driver (tests/core/ensemble_test.cpp compares the two trial for trial).
 /// See the header comment for the phase diagram.
-template <typename P>
+template <typename P, typename Topo = core::RingTopology>
 [[nodiscard]] RecoveryTrial recovery_trial(const typename P::Params& params,
-                                           const ScenarioSpec<P>& spec,
+                                           const ScenarioSpec<P, Topo>& spec,
                                            std::uint64_t t) {
   const TrialPlan& plan = spec.plan;
   const std::uint64_t seed = core::derive_seed(plan.seed_base, plan.tag, t);
   core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
   core::Xoshiro256pp fault_rng(seed ^ 0xFA5EED);
-  core::Runner<P> runner(params, spec.initial(params, cfg_rng), seed);
+  core::Runner<P, Topo> runner(params, spec.initial(params, cfg_rng), seed);
+  if (spec.sched_faults.active()) runner.set_scheduler_faults(spec.sched_faults);
 
   RecoveryTrial out;
   const auto stab =
@@ -185,7 +203,7 @@ template <typename P>
   for (const FaultEvent& ev : sorted_schedule(spec)) {
     const std::uint64_t target = epoch + ev.at_step;
     if (target > runner.steps()) runner.run(target - runner.steps());
-    spec.inject(core::RingView<P>(runner), ev.faults, fault_rng);
+    spec.inject(core::RingView<P, Topo>(runner), ev.faults, fault_rng);
     last_injection = runner.steps();
   }
 
@@ -202,14 +220,14 @@ template <typename P>
 /// recovery_trial's: stabilize (run_until_each), inject at exact offsets
 /// (run_ring + RingView), recover (run_until_each over the stabilized
 /// subset, others frozen).
-template <typename P>
+template <typename P, typename Topo = core::RingTopology>
 void ensemble_recovery_shard(const typename P::Params& params,
-                             const ScenarioSpec<P>& spec, std::size_t first,
-                             std::size_t count,
+                             const ScenarioSpec<P, Topo>& spec,
+                             std::size_t first, std::size_t count,
                              std::span<RecoveryTrial> out) {
-  constexpr std::uint64_t npos = core::EnsembleRunner<P>::npos;
+  constexpr std::uint64_t npos = core::EnsembleRunner<P, Topo>::npos;
   const TrialPlan& plan = spec.plan;
-  core::EnsembleRunner<P> ensemble(params, static_cast<int>(count));
+  core::EnsembleRunner<P, Topo> ensemble(params, static_cast<int>(count));
   std::vector<core::Xoshiro256pp> fault_rngs;
   fault_rngs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -220,6 +238,10 @@ void ensemble_recovery_shard(const typename P::Params& params,
     const auto initial = spec.initial(params, cfg_rng);
     ensemble.add_ring(initial, seed);
   }
+  // After the rings exist: per-ring loss streams re-derive from each ring's
+  // seed, so trial i is bit-identical to recovery_trial's standalone Runner.
+  if (spec.sched_faults.active())
+    ensemble.set_scheduler_faults(spec.sched_faults);
 
   const auto stab =
       ensemble.run_until_each(spec.recovered, plan.max_steps,
@@ -239,7 +261,8 @@ void ensemble_recovery_shard(const typename P::Params& params,
       const std::uint64_t target = epoch + ev.at_step;
       if (target > ensemble.steps(r))
         ensemble.run_ring(r, target - ensemble.steps(r));
-      spec.inject(core::RingView<P>(ensemble, r), ev.faults, fault_rngs[i]);
+      spec.inject(core::RingView<P, Topo>(ensemble, r), ev.faults,
+                  fault_rngs[i]);
       last = ensemble.steps(r);
     }
     last_injection[i] = last;
@@ -266,9 +289,9 @@ void ensemble_recovery_shard(const typename P::Params& params,
 /// Execute one scenario: `plan.trials` trials sharded into contiguous
 /// ensembles fanned over a ThreadPool, bit-identical for any thread count
 /// and to the per-trial reference path (indices only; see header comment).
-template <typename P>
-[[nodiscard]] RecoveryStats measure_recovery(const typename P::Params& params,
-                                             const ScenarioSpec<P>& spec) {
+template <typename P, typename Topo = core::RingTopology>
+[[nodiscard]] RecoveryStats measure_recovery(
+    const typename P::Params& params, const ScenarioSpec<P, Topo>& spec) {
   std::vector<RecoveryTrial> trials(
       static_cast<std::size_t>(std::max(spec.plan.trials, 0)));
   core::ThreadPool pool(spec.plan.threads);
@@ -280,9 +303,8 @@ template <typename P>
   const std::size_t shards = (trials.size() + shard - 1) / shard;
   pool.for_index(shards, [&](std::size_t s) {
     const std::size_t first = s * shard;
-    detail::ensemble_recovery_shard<P>(params, spec, first,
-                                       std::min(shard, trials.size() - first),
-                                       trials);
+    detail::ensemble_recovery_shard<P, Topo>(
+        params, spec, first, std::min(shard, trials.size() - first), trials);
   });
   return detail::fold_recovery(trials);
 }
@@ -299,9 +321,10 @@ struct CampaignResult {
 /// Give each cell a distinct plan.tag — campaign_tag below is collision-free
 /// for n < 2^20 and faults < 2^12 — so cells stay decorrelated and
 /// reproducible independent of campaign order.
-template <typename P>
+template <typename P, typename Topo = core::RingTopology>
 [[nodiscard]] std::vector<CampaignResult> run_campaign(
-    std::span<const std::pair<typename P::Params, ScenarioSpec<P>>> cells) {
+    std::span<const std::pair<typename P::Params, ScenarioSpec<P, Topo>>>
+        cells) {
   std::vector<CampaignResult> out;
   out.reserve(cells.size());
   for (const auto& [params, spec] : cells) {
@@ -309,7 +332,7 @@ template <typename P>
     r.scenario = spec.name;
     r.n = params.n;
     r.faults = total_faults(spec.schedule);
-    r.stats = measure_recovery<P>(params, spec);
+    r.stats = measure_recovery<P, Topo>(params, spec);
     out.push_back(std::move(r));
   }
   return out;

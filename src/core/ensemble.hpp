@@ -89,11 +89,14 @@ concept HasPackedStates =
       { P::unpack_state(v, p) } -> std::convertible_to<typename P::State>;
     };
 
-template <typename P>
+template <typename P, typename Topo = RingTopology>
 class EnsembleRunner {
+  static_assert(TopologyLike<Topo>);
+
  public:
   using State = typename P::State;
   using Params = typename P::Params;
+  using Topology = Topo;
   using Engine = InteractionEngine<P>;
 
   static constexpr std::uint64_t npos =
@@ -112,7 +115,10 @@ class EnsembleRunner {
   /// delta census and fallback contract the LUT lane has: any state that
   /// fails the pack/unpack round trip (out of the declared domain) drops
   /// the ensemble to the generic path, never to a wrong trajectory.
-  static constexpr bool kWordable = WordKernelRunnable<P>;
+  /// Ring-only (the driver's endpoint arithmetic and disjointness proofs
+  /// are ring math); the LUT lane, by contrast, is topology-generic.
+  static constexpr bool kWordable =
+      WordKernelRunnable<P> && std::is_same_v<Topo, RingTopology>;
 
   /// Regime-narrowed word lane: when the protocol's kernel also
   /// instantiates at 32-bit elements (core::HasNarrowWordKernel) *and* the
@@ -131,28 +137,20 @@ class EnsembleRunner {
 
   explicit EnsembleRunner(Params params, int reserve_rings = 0)
       : params_(std::move(params)),
-        bound_(static_cast<std::uint64_t>(P::directed ? params_.n
-                                                      : 2 * params_.n)),
+        topo_(params_.n),
+        bound_(static_cast<std::uint64_t>(topo_.arc_count(P::directed))),
         threshold_(Xoshiro256pp::rejection_threshold(bound_)) {
-    if (reserve_rings > 0) {
-      const auto r = static_cast<std::size_t>(reserve_rings);
-      states_.reserve(r * static_cast<std::size_t>(params_.n));
-      clocks_.reserve(r);
-      rngs_.reserve(r);
-    }
-    if constexpr (kPackable) build_lut();
-    if constexpr (kWordable) {
-      if (!lut_active_) {
-        layout_ = P::word_layout(params_);
-        // Same bit-0 leader probe as Runner (see its constructor).
-        word_active_ = layout_.fits() && P::word_leader(1, layout_) &&
-                       !P::word_leader(0, layout_);
-        if (word_active_) consts_ = P::make_word_consts(layout_);
-        if constexpr (kNarrowable) {
-          narrow_active_ = word_active_ && P::word_fits_narrow(layout_);
-        }
-      }
-    }
+    init_modes(reserve_rings);
+  }
+
+  /// Explicit-topology constructor (topologies that carry more than n).
+  EnsembleRunner(Topo topo, Params params, int reserve_rings = 0)
+      : params_(std::move(params)),
+        topo_(std::move(topo)),
+        bound_(static_cast<std::uint64_t>(topo_.arc_count(P::directed))),
+        threshold_(Xoshiro256pp::rejection_threshold(bound_)) {
+    assert(topo_.n() == params_.n);
+    init_modes(reserve_rings);
   }
 
   /// Append one ring initialized from `initial`, seeded exactly like
@@ -161,6 +159,8 @@ class EnsembleRunner {
     assert(static_cast<int>(initial.size()) == params_.n);
     states_.insert(states_.end(), initial.begin(), initial.end());
     rngs_.emplace_back(seed);
+    seeds_.push_back(seed);
+    loss_rngs_.emplace_back(seed ^ kLossStreamTag);
     RingClock clk;
     clk.oracle_delay = oracle_delay_;
     Engine::recount(initial, params_, clk);
@@ -244,11 +244,39 @@ class EnsembleRunner {
     return clock(r).last_leader_change;
   }
 
+  [[nodiscard]] const Topo& topology() const noexcept { return topo_; }
+
   /// Oracle delay for every ring, current and future (mirrors
   /// Runner::set_oracle_delay).
   void set_oracle_delay(std::uint64_t d) noexcept {
     oracle_delay_ = d;
     for (RingClock& c : clocks_) c.oracle_delay = d;
+  }
+
+  /// Configure the scheduler fault models for every ring, current and
+  /// future (see core::SchedulerFaults and Runner::set_scheduler_faults).
+  /// Every ring's loss stream is (re)derived as ring_seed ^ kLossStreamTag,
+  /// so ring r's faulted trajectory stays bit-identical to a standalone
+  /// Runner constructed with the same seed and faults. Active faults
+  /// permanently drop the ensemble to the generic path (the accelerated
+  /// lanes assume the clean uniform scheduler — exactly as Runner pins
+  /// itself scalar).
+  void set_scheduler_faults(const SchedulerFaults& f) {
+    assert(f.loss_p >= 0.0 && f.loss_p <= 1.0);
+    assert(f.arc_weights.empty() ||
+           f.arc_weights.size() == static_cast<std::size_t>(bound_));
+    loss_threshold_ = detail::probability_threshold(f.loss_p);
+    bias_ = f.arc_weights.empty() ? detail::BiasTable{}
+                                  : detail::BiasTable(f.arc_weights);
+    sched_active_ = loss_threshold_ != 0 || !bias_.empty();
+    for (std::size_t r = 0; r < seeds_.size(); ++r)
+      loss_rngs_[r] = Xoshiro256pp(seeds_[r] ^ kLossStreamTag);
+    if (sched_active_) force_generic_path();
+  }
+
+  /// True when a scheduler fault model (loss or bias) is configured.
+  [[nodiscard]] bool scheduler_faults_active() const noexcept {
+    return sched_active_;
   }
 
   /// Permanently leave every accelerated mode (LUT and word kernel; no-op
@@ -415,6 +443,30 @@ class EnsembleRunner {
   }
 
  private:
+  /// Shared constructor tail: storage reservation and accelerator-mode
+  /// probing (LUT, then the ring-only word lanes).
+  void init_modes(int reserve_rings) {
+    if (reserve_rings > 0) {
+      const auto r = static_cast<std::size_t>(reserve_rings);
+      states_.reserve(r * static_cast<std::size_t>(params_.n));
+      clocks_.reserve(r);
+      rngs_.reserve(r);
+    }
+    if constexpr (kPackable) build_lut();
+    if constexpr (kWordable) {
+      if (!lut_active_) {
+        layout_ = P::word_layout(params_);
+        // Same bit-0 leader probe as Runner (see its constructor).
+        word_active_ = layout_.fits() && P::word_leader(1, layout_) &&
+                       !P::word_leader(0, layout_);
+        if (word_active_) consts_ = P::make_word_consts(layout_);
+        if constexpr (kNarrowable) {
+          narrow_active_ = word_active_ && P::word_fits_narrow(layout_);
+        }
+      }
+    }
+  }
+
   /// Transition-table entry for one (initiator, responder) packed pair:
   /// packed successor states plus the exact census deltas the generic
   /// census_after would have computed. 8 bytes; the whole modk table is
@@ -592,21 +644,43 @@ class EnsembleRunner {
   [[gnu::flatten]] void advance_ring_generic(int r, std::uint64_t k) {
     State* const agents = states_.data() + ring_offset(r);
     const auto ri = static_cast<std::size_t>(r);
-    // bound_/threshold_ hoisted into locals for the same reason rng/clk are:
-    // the loop's byte-sized state stores may alias *this under the strict
-    // aliasing rules (unsigned char writes alias everything), so the
-    // member loads would otherwise be re-issued every iteration — measured
-    // as the per-trial-Runner-vs-ensemble gap on yokota28 (README.md,
-    // BENCH_ensemble.json).
+    // bound_/threshold_/topo_ hoisted into locals for the same reason
+    // rng/clk are: the loop's byte-sized state stores may alias *this under
+    // the strict aliasing rules (unsigned char writes alias everything), so
+    // the member loads would otherwise be re-issued every iteration —
+    // measured as the per-trial-Runner-vs-ensemble gap on yokota28
+    // (README.md, BENCH_ensemble.json).
     const std::uint64_t bound = bound_;
     const std::uint64_t threshold = threshold_;
+    const Topo topo = topo_;
     Xoshiro256pp rng = rngs_[ri];
     RingClock clk = clocks_[ri];
-    for (std::uint64_t i = 0; i < k; ++i) {
-      Engine::apply_arc_batched(
-          agents,
-          static_cast<int>(rng.bounded_with_threshold(bound, threshold)),
-          params_, clk);
+    if (!sched_active_) {
+      for (std::uint64_t i = 0; i < k; ++i) {
+        Engine::apply_arc_batched(
+            agents,
+            topo.endpoints(static_cast<int>(
+                rng.bounded_with_threshold(bound, threshold))),
+            params_, clk);
+      }
+    } else {
+      // Faulted-scheduler loop, kept out of the clean loop so its codegen
+      // is untouched. Same draws (and the same loss stream consumption) as
+      // Runner's faulted scalar loop.
+      const std::uint64_t loss_threshold = loss_threshold_;
+      Xoshiro256pp loss_rng = loss_rngs_[ri];
+      for (std::uint64_t i = 0; i < k; ++i) {
+        const int arc = bias_.empty()
+                            ? static_cast<int>(rng.bounded_with_threshold(
+                                  bound, threshold))
+                            : bias_.draw(rng);
+        if (loss_threshold != 0 && loss_rng() < loss_threshold) {
+          ++clk.steps;
+          continue;
+        }
+        Engine::apply_arc_batched(agents, topo.endpoints(arc), params_, clk);
+      }
+      loss_rngs_[ri] = loss_rng;
     }
     rngs_[ri] = rng;
     clocks_[ri] = clk;
@@ -627,11 +701,11 @@ class EnsembleRunner {
     const std::uint64_t threshold = threshold_;
     Xoshiro256pp rng = rngs_[ri];
     RingClock clk = clocks_[ri];
-    const int n = params_.n;
+    const Topo topo = topo_;
     for (std::uint64_t i = 0; i < k; ++i) {
       const int arc =
           static_cast<int>(rng.bounded_with_threshold(bound, threshold));
-      const ArcEndpoints e = arc_endpoints(arc, n);
+      const ArcEndpoints e = topo.endpoints(arc);
       const std::size_t pa = packed[e.initiator];
       const std::size_t pb = packed[e.responder];
       const LutEntry& en = lut[pa * S + pb];
@@ -707,9 +781,15 @@ class EnsembleRunner {
   }
 
   Params params_;
+  Topo topo_;  ///< after params_: the (Params, int) ctor builds it from .n
   std::uint64_t bound_;
   std::uint64_t threshold_;
   std::uint64_t oracle_delay_ = 0;
+  std::vector<std::uint64_t> seeds_;     ///< per-ring origin seeds
+  std::vector<Xoshiro256pp> loss_rngs_;  ///< per-ring omission streams
+  detail::BiasTable bias_;               ///< non-empty = biased distribution
+  std::uint64_t loss_threshold_ = 0;     ///< 0 = omission model off
+  bool sched_active_ = false;            ///< any scheduler fault model on
   /// Ring r's states at [r*n, (r+1)*n). In packed mode this block is a
   /// lazily refreshed materialization of `packed_` (see `dirty_`), hence
   /// mutable: accessors are logically const.
@@ -735,14 +815,14 @@ class EnsembleRunner {
 /// either a standalone Runner or one ring of an EnsembleRunner, so the same
 /// injection code serves both the per-trial reference path and the
 /// trial-batched campaign path. Two pointers wide; pass by value.
-template <typename P>
+template <typename P, typename Topo = RingTopology>
 class RingView {
  public:
   using State = typename P::State;
   using Params = typename P::Params;
 
-  explicit RingView(Runner<P>& runner) noexcept : runner_(&runner) {}
-  RingView(EnsembleRunner<P>& ensemble, int ring) noexcept
+  explicit RingView(Runner<P, Topo>& runner) noexcept : runner_(&runner) {}
+  RingView(EnsembleRunner<P, Topo>& ensemble, int ring) noexcept
       : ensemble_(&ensemble), ring_(ring) {}
 
   [[nodiscard]] const Params& params() const noexcept {
@@ -766,8 +846,8 @@ class RingView {
   }
 
  private:
-  Runner<P>* runner_ = nullptr;
-  EnsembleRunner<P>* ensemble_ = nullptr;
+  Runner<P, Topo>* runner_ = nullptr;
+  EnsembleRunner<P, Topo>* ensemble_ = nullptr;
   int ring_ = 0;
 };
 

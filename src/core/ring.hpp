@@ -33,9 +33,12 @@ struct ArcEndpoints {
   int responder = 0;
 };
 
-/// The one initiator/responder arc mapping of the ring scheduler, shared by
-/// Runner, EnsembleRunner and ModelChecker so the random scheduler and the
-/// exhaustive checker cannot drift apart.
+/// The initiator/responder arc mapping of the *ring* scheduler, shared by
+/// Runner, EnsembleRunner and ModelChecker (via core::RingTopology) so the
+/// random scheduler and the exhaustive checker read one definition. Sharing
+/// a function does not by itself prevent drift on other topologies — each
+/// Topology supplies its own endpoints(), and engine/checker agreement is
+/// pinned per topology by tests/core/topology_drift_test.cpp.
 ///
 /// Arcs [0, n) are the directed arcs e_i = (u_i, u_{i+1 mod n}): the *left*
 /// agent is the initiator, matching the paper's "l is the initiator and r is
@@ -89,16 +92,23 @@ struct ArcEndpoints {
 /// Arc e_i is the interaction (u_i, u_{i+1}); a sequence is a list of arc ids.
 ///
 /// seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}   (a clockwise sweep)
+/// Precondition: length >= 0 (asserted; a negative length is a caller bug,
+/// not an empty sweep).
 [[nodiscard]] inline std::vector<int> seq_r(int start, int length, int n) {
+  assert(length >= 0);
   std::vector<int> out;
+  if (length <= 0) return out;
   out.reserve(static_cast<std::size_t>(length));
   for (int k = 0; k < length; ++k) out.push_back(ring_add(start, k, n));
   return out;
 }
 
 /// seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}  (a counter-clockwise sweep)
+/// Precondition: length >= 0 (asserted).
 [[nodiscard]] inline std::vector<int> seq_l(int start, int length, int n) {
+  assert(length >= 0);
   std::vector<int> out;
+  if (length <= 0) return out;
   out.reserve(static_cast<std::size_t>(length));
   for (int k = 1; k <= length; ++k) out.push_back(ring_add(start, -k, n));
   return out;
@@ -111,10 +121,16 @@ struct ArcEndpoints {
   return s;
 }
 
-/// s^k: the k-times repetition of s.
+/// s^k: the k-times repetition of s. Precondition: times >= 0 (asserted).
+/// The reserve arithmetic runs entirely in std::size_t so a large `times`
+/// cannot overflow an int product before the cast; repeating an empty
+/// sequence any number of times is an empty sequence without touching the
+/// allocator.
 [[nodiscard]] inline std::vector<int> seq_repeat(const std::vector<int>& s,
                                                  int times) {
+  assert(times >= 0);
   std::vector<int> out;
+  if (times <= 0 || s.empty()) return out;
   out.reserve(s.size() * static_cast<std::size_t>(times));
   for (int i = 0; i < times; ++i) out.insert(out.end(), s.begin(), s.end());
   return out;

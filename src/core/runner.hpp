@@ -19,8 +19,12 @@
 // (u_i, u_{i+1}) — the *left* agent is the initiator, matching the paper's
 // "l is the initiator and r is the responder". On the undirected ring there
 // are 2n arcs: e_i and its reverse (u_{i+1}, u_i), each with probability 1/2n.
-// The mapping itself lives in core/ring.hpp (`arc_endpoints`), shared with
-// the exhaustive ModelChecker so scheduler and checker cannot drift.
+// The mapping lives behind the Topology interface (core/topology.hpp):
+// Runner<P, Topo> draws arc ids and resolves them through Topo::endpoints,
+// with RingTopology (the default) forwarding to core/ring.hpp's
+// `arc_endpoints` so the ring path is unchanged. The exhaustive ModelChecker
+// reads the same interface; per-topology engine/checker agreement is pinned
+// by tests/core/topology_drift_test.cpp.
 //
 // Two scheduler paths share one RNG stream and are bit-identical:
 //
@@ -79,6 +83,7 @@
 
 #include "core/ring.hpp"
 #include "core/rng.hpp"
+#include "core/topology.hpp"
 #include "core/wordlane.hpp"
 
 // The wide vector helpers below pass/return 32- and 64-byte vectors whose
@@ -97,6 +102,101 @@ namespace ppsim::core {
 struct InteractionContext {
   bool no_leader = false;
   bool no_token = false;
+};
+
+/// Stream-derivation tag for the omission/message-loss stream: a runner
+/// seeded with `seed` draws its loss events from Xoshiro256pp(seed ^
+/// kLossStreamTag), decorrelated from the arc-draw stream.
+inline constexpr std::uint64_t kLossStreamTag = 0x1055ULL;
+
+namespace detail {
+
+/// 64-bit acceptance threshold for an event of probability p: the event
+/// fires iff next() < threshold. p >= 1 maps to an all-ones threshold
+/// (miss probability 2^-64 — indistinguishable from certain at any budget).
+[[nodiscard]] inline std::uint64_t probability_threshold(double p) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(static_cast<long double>(p) *
+                                    18446744073709551616.0L);
+}
+
+/// Cumulative-threshold table for biased (non-uniform) arc draws: arc i is
+/// selected when the raw 64-bit draw falls in [cum[i-1], cum[i]). One raw
+/// next() of the *main* scheduler stream per draw, resolved by binary
+/// search, so every engine lane and the differential checker mirror that
+/// builds the table from the same weights consumes the same stream and
+/// draws the same arcs — the bias determinism contract.
+class BiasTable {
+ public:
+  BiasTable() = default;
+  explicit BiasTable(std::span<const double> weights) {
+    assert(!weights.empty());
+    long double total = 0.0L;
+    for (const double w : weights) {
+      assert(w >= 0.0);
+      total += static_cast<long double>(w);
+    }
+    assert(total > 0.0L);
+    cum_.resize(weights.size());
+    long double acc = 0.0L;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += static_cast<long double>(weights[i]);
+      const long double frac = acc / total;
+      cum_[i] = frac >= 1.0L
+                    ? std::numeric_limits<std::uint64_t>::max()
+                    : static_cast<std::uint64_t>(frac *
+                                                 18446744073709551616.0L);
+    }
+    // Pin the last bucket so no draw can fall off the table's end.
+    cum_.back() = std::numeric_limits<std::uint64_t>::max();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return cum_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return cum_.size(); }
+
+  [[nodiscard]] int draw(Xoshiro256pp& rng) const noexcept {
+    const std::uint64_t x = rng();
+    const auto it = std::upper_bound(cum_.begin(), cum_.end(), x);
+    // x == 2^64-1 compares equal to the pinned last bucket; clamp it there.
+    const auto idx = it == cum_.end() ? cum_.size() - 1
+                                      : static_cast<std::size_t>(
+                                            it - cum_.begin());
+    return static_cast<int>(idx);
+  }
+
+ private:
+  std::vector<std::uint64_t> cum_;
+};
+
+}  // namespace detail
+
+/// Scheduler fault models (ROADMAP item 3), configured per engine via
+/// `set_scheduler_faults`:
+///
+///  * Omission / message loss: each drawn interaction is lost (the step
+///    counts, the clock advances, but no transition fires) with probability
+///    `loss_p`. Loss events come from a dedicated stream (seed ^
+///    kLossStreamTag), so enabling loss does not perturb the arc-draw
+///    stream: the surviving interactions are exactly a subsequence of the
+///    clean schedule, and per-trial determinism (same seed, same faulted
+///    trajectory, any thread count) is preserved.
+///  * Biased arc distribution: `arc_weights[arc]` proportional to the draw
+///    probability (size must equal the engine's arc_count; empty keeps the
+///    uniform scheduler). Biased draws consume exactly one raw 64-bit value
+///    of the main stream per interaction (see detail::BiasTable).
+///
+/// Active faults pin the engine to the scalar path — the word kernel's
+/// grouped draws and the ensemble's accelerated lanes assume the clean
+/// uniform scheduler. Deterministic scheduling entry points (apply_arc,
+/// apply_sequence) always bypass faults.
+struct SchedulerFaults {
+  double loss_p = 0.0;
+  std::vector<double> arc_weights;
+
+  [[nodiscard]] bool active() const noexcept {
+    return loss_p > 0.0 || !arc_weights.empty();
+  }
 };
 
 template <typename P>
@@ -294,10 +394,11 @@ struct InteractionEngine {
   }
 
   /// One interaction of the reference path: unconditional before/after
-  /// census. `agents` is the ring's contiguous state array of params.n slots.
-  static void apply_arc(State* agents, int arc, const Params& params,
+  /// census. `agents` is the contiguous state array of params.n slots; the
+  /// caller resolves the drawn arc id to endpoints through its Topology
+  /// (the engine core is topology-agnostic).
+  static void apply_arc(State* agents, ArcEndpoints e, const Params& params,
                         RingClock& clk) {
-    const ArcEndpoints e = arc_endpoints(arc, params.n);
     State& a = agents[e.initiator];
     State& b = agents[e.responder];
     if constexpr (HasLeaderOutput<P>) {
@@ -318,9 +419,8 @@ struct InteractionEngine {
 
   /// One interaction of the fast path: delta census via state snapshots.
   /// Bit-identical to apply_arc() — see the header comment.
-  static void apply_arc_batched(State* agents, int arc, const Params& params,
-                                RingClock& clk) {
-    const ArcEndpoints e = arc_endpoints(arc, params.n);
+  static void apply_arc_batched(State* agents, ArcEndpoints e,
+                                const Params& params, RingClock& clk) {
     State& a = agents[e.initiator];
     State& b = agents[e.responder];
     if constexpr (!HasLeaderOutput<P>) {
@@ -1254,12 +1354,19 @@ struct WordGroupDriver {
 };
 
 /// Simulation runner. Owns the configuration, the scheduler RNG and step
-/// bookkeeping. Copyable (snapshot = copy).
-template <typename P>
+/// bookkeeping. Copyable (snapshot = copy). `Topo` selects the interaction
+/// topology (core/topology.hpp); the default RingTopology reproduces the
+/// historical ring engine bit for bit, and the word-kernel path is a
+/// ring-only specialization — other topologies compile it out and take the
+/// scalar engine.
+template <typename P, typename Topo = RingTopology>
 class Runner {
+  static_assert(TopologyLike<Topo>);
+
  public:
   using State = typename P::State;
   using Params = typename P::Params;
+  using Topology = Topo;
   using Engine = InteractionEngine<P>;
   using WordLayout = typename detail::WordLayoutOf<P>::type;
   using WordConsts = typename detail::WordConstsOf<P>::type;
@@ -1272,33 +1379,35 @@ class Runner {
   /// array, the hot loop runs on words, and the scalar states materialize on
   /// demand. All other paths (step, apply_arc, run_unbatched, set_agent)
   /// stay scalar — run_unbatched is the scalar *reference* the kernel is
-  /// differentially fuzzed against.
-  static constexpr bool kWordKernel = WordKernelRunnable<P>;
+  /// differentially fuzzed against. The kernel's grouped driver proves
+  /// disjointness with ring arc arithmetic, so it exists only on
+  /// RingTopology; any other topology is scalar by construction.
+  static constexpr bool kWordKernel =
+      WordKernelRunnable<P> && std::is_same_v<Topo, RingTopology>;
 
   Runner(Params params, std::vector<State> initial, std::uint64_t seed)
       : params_(std::move(params)),
+        topo_(params_.n),
         agents_(std::move(initial)),
-        rng_(seed) {
-    assert(static_cast<int>(agents_.size()) == params_.n);
-    Engine::recount(agents_, params_, clk_);
-    if constexpr (kWordKernel) {
-      layout_ = P::word_layout(params_);
-      // The grouped driver reads the leader output off bit 0 of the word;
-      // probe that word_leader really is that bit, so a layout with the
-      // flag elsewhere keeps the scalar path instead of corrupting the
-      // census.
-      word_capable_ = layout_.fits() && P::word_leader(1, layout_) &&
-                      !P::word_leader(0, layout_);
-      // Below the measured engagement threshold the grouped path loses to
-      // the scalar batched loop (disjointness proofs keep failing), so it
-      // starts disengaged; force_word_path() opts back in.
-      word_active_ = word_capable_ &&
-                     WordGroupDriver<P>::single_ring_engaged(params_.n);
-      if (word_capable_) consts_ = P::make_word_consts(layout_);
-    }
+        rng_(seed),
+        seed_(seed) {
+    init_engine();
+  }
+
+  /// Explicit-topology constructor (topologies that carry more than n).
+  Runner(Topo topo, Params params, std::vector<State> initial,
+         std::uint64_t seed)
+      : params_(std::move(params)),
+        topo_(std::move(topo)),
+        agents_(std::move(initial)),
+        rng_(seed),
+        seed_(seed) {
+    assert(topo_.n() == params_.n);
+    init_engine();
   }
 
   [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] const Topo& topology() const noexcept { return topo_; }
   [[nodiscard]] std::span<const State> agents() const noexcept {
     sync_states();
     return agents_;
@@ -1310,9 +1419,10 @@ class Runner {
   [[nodiscard]] int n() const noexcept { return params_.n; }
   [[nodiscard]] std::uint64_t steps() const noexcept { return clk_.steps; }
 
-  /// Number of arcs (= number of equally likely interactions per step).
+  /// Number of arcs (= number of equally likely interactions per step under
+  /// the clean uniform scheduler).
   [[nodiscard]] int arc_count() const noexcept {
-    return P::directed ? params_.n : 2 * params_.n;
+    return topo_.arc_count(P::directed);
   }
 
   /// Leader census (maintained incrementally; only meaningful when the
@@ -1349,8 +1459,41 @@ class Runner {
     Engine::set_agent(agents_.at(i), s, params_, clk_);
   }
 
+  /// Configure the scheduler fault models (see SchedulerFaults). Resets the
+  /// loss stream to its trial-derived origin (seed ^ kLossStreamTag), so
+  /// configuring faults then running is deterministic per seed. Active
+  /// faults pin the runner to the scalar path permanently.
+  void set_scheduler_faults(const SchedulerFaults& f) {
+    assert(f.loss_p >= 0.0 && f.loss_p <= 1.0);
+    assert(f.arc_weights.empty() ||
+           static_cast<int>(f.arc_weights.size()) == arc_count());
+    loss_threshold_ = detail::probability_threshold(f.loss_p);
+    bias_ = f.arc_weights.empty() ? detail::BiasTable{}
+                                  : detail::BiasTable(f.arc_weights);
+    sched_active_ = loss_threshold_ != 0 || !bias_.empty();
+    loss_rng_ = Xoshiro256pp(seed_ ^ kLossStreamTag);
+    if (sched_active_) force_scalar_path();
+  }
+
+  /// True when a scheduler fault model (loss or bias) is configured.
+  [[nodiscard]] bool scheduler_faults_active() const noexcept {
+    return sched_active_;
+  }
+
   /// Execute a single uniformly random interaction.
-  void step() { apply_arc(static_cast<int>(rng_.bounded(arc_count()))); }
+  void step() {
+    if (!sched_active_) {
+      apply_arc(static_cast<int>(rng_.bounded(arc_count())));
+      return;
+    }
+    prepare_scalar_mutation();
+    const int arc = draw_faulted_arc();
+    if (lose_draw()) {
+      ++clk_.steps;
+      return;
+    }
+    Engine::apply_arc(agents_.data(), topo_.endpoints(arc), params_, clk_);
+  }
 
   /// True while run(k) dispatches to the protocol's word-packed kernel.
   /// Always false for protocols without one; starts false below the
@@ -1398,11 +1541,32 @@ class Runner {
     const auto bound = static_cast<std::uint64_t>(arc_count());
     const std::uint64_t threshold = Xoshiro256pp::rejection_threshold(bound);
     State* const agents = agents_.data();
+    // Local topology copy: byte stores through `agents` could alias the
+    // member under TBAA and force per-iteration reloads of the endpoint
+    // arithmetic's inputs (same reasoning as EnsembleRunner's hoisted
+    // locals).
+    const Topo topo = topo_;
+    if (!sched_active_) {
+      for (std::uint64_t i = 0; i < k; ++i) {
+        Engine::apply_arc_batched(
+            agents,
+            topo.endpoints(static_cast<int>(
+                rng_.bounded_with_threshold(bound, threshold))),
+            params_, clk_);
+      }
+      return;
+    }
+    // Faulted loop, kept separate so the clean loop's codegen is untouched.
     for (std::uint64_t i = 0; i < k; ++i) {
-      Engine::apply_arc_batched(
-          agents,
-          static_cast<int>(rng_.bounded_with_threshold(bound, threshold)),
-          params_, clk_);
+      const int arc =
+          bias_.empty()
+              ? static_cast<int>(rng_.bounded_with_threshold(bound, threshold))
+              : bias_.draw(rng_);
+      if (lose_draw()) {
+        ++clk_.steps;
+        continue;
+      }
+      Engine::apply_arc_batched(agents, topo.endpoints(arc), params_, clk_);
     }
   }
 
@@ -1414,12 +1578,14 @@ class Runner {
     for (std::uint64_t i = 0; i < k; ++i) step();
   }
 
-  /// Execute the interaction identified by `arc` (deterministic scheduling).
-  /// For directed protocols arc in [0, n); for undirected, arcs in [n, 2n)
-  /// are the reversed pairs (u_{a-n+1} initiator, u_{a-n} responder).
+  /// Execute the interaction identified by `arc` (deterministic scheduling;
+  /// always bypasses scheduler faults). For directed protocols arc in
+  /// [0, F); for undirected, arcs in [F, 2F) are the endpoint-swapped pairs
+  /// (F = topology().forward_arcs(); on the ring F = n and arc n + i
+  /// reverses e_i).
   void apply_arc(int arc) {
     prepare_scalar_mutation();
-    Engine::apply_arc(agents_.data(), arc, params_, clk_);
+    Engine::apply_arc(agents_.data(), topo_.endpoints(arc), params_, clk_);
   }
 
   /// Apply a whole deterministic interaction sequence (arc ids).
@@ -1457,6 +1623,42 @@ class Runner {
   }
 
  private:
+  /// Shared constructor tail: census recount and word-kernel capability
+  /// probing.
+  void init_engine() {
+    assert(static_cast<int>(agents_.size()) == params_.n);
+    Engine::recount(agents_, params_, clk_);
+    if constexpr (kWordKernel) {
+      layout_ = P::word_layout(params_);
+      // The grouped driver reads the leader output off bit 0 of the word;
+      // probe that word_leader really is that bit, so a layout with the
+      // flag elsewhere keeps the scalar path instead of corrupting the
+      // census.
+      word_capable_ = layout_.fits() && P::word_leader(1, layout_) &&
+                      !P::word_leader(0, layout_);
+      // Below the measured engagement threshold the grouped path loses to
+      // the scalar batched loop (disjointness proofs keep failing), so it
+      // starts disengaged; force_word_path() opts back in.
+      word_active_ = word_capable_ &&
+                     WordGroupDriver<P>::single_ring_engaged(params_.n);
+      if (word_capable_) consts_ = P::make_word_consts(layout_);
+    }
+  }
+
+  /// One faulted-scheduler arc draw at step() granularity (no hoisted
+  /// Lemire threshold; same stream values as the hoisted form).
+  [[nodiscard]] int draw_faulted_arc() {
+    return bias_.empty()
+               ? static_cast<int>(
+                     rng_.bounded(static_cast<std::uint64_t>(arc_count())))
+               : bias_.draw(rng_);
+  }
+
+  /// Consume one loss draw iff the omission model is on; true = lost.
+  [[nodiscard]] bool lose_draw() {
+    return loss_threshold_ != 0 && loss_rng_() < loss_threshold_;
+  }
+
   /// Materialize agents_ from the word mirror if the last run(k) block left
   /// the scalar states stale. Logically const (lazy view refresh).
   void sync_states() const noexcept {
@@ -1515,11 +1717,17 @@ class Runner {
   }
 
   Params params_;
+  Topo topo_;  ///< after params_: the default ctor builds it from params_.n
   /// In word-kernel runs this block is a lazily refreshed materialization of
   /// `words_` (see `states_stale_`), hence mutable: accessors are logically
   /// const.
   mutable std::vector<State> agents_;
   Xoshiro256pp rng_;
+  std::uint64_t seed_ = 0;          ///< origin seed (loss-stream derivation)
+  Xoshiro256pp loss_rng_{0};        ///< omission stream (seed_ ^ kLossStreamTag)
+  detail::BiasTable bias_;          ///< non-empty = biased arc distribution
+  std::uint64_t loss_threshold_ = 0;  ///< 0 = omission model off
+  bool sched_active_ = false;         ///< any scheduler fault model on
   RingClock clk_;
   WordLayout layout_{};                 ///< valid only when kWordKernel
   WordConsts consts_{};                 ///< kernel constants (word path)

@@ -57,8 +57,19 @@
 // check_every (checkpoints only read state) — the quantized-hitting-time
 // contract of analysis/experiment.hpp, pinned by
 // tests/verification/differential_test.cpp.
+//
+// Topology and scheduler faults. The whole matrix is templated on a
+// core::Topology (ring by default, bit-identical to the pre-topology
+// harness): engines draw arcs from Topo::endpoints and the mirror from
+// ModelChecker<M, MirrorTopo>::successor, so a single mis-mapped arc in
+// either shows up as a named lane divergence at the next checkpoint.
+// FuzzConfig::loss_p / arc_bias put the scheduler-fault loops themselves
+// under differential fire — every engine lane gets the same
+// core::SchedulerFaults and the mirror independently replays the
+// loss-stream/bias-draw contract (see run_differential).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <optional>
@@ -72,6 +83,7 @@
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/runner.hpp"
+#include "core/topology.hpp"
 
 namespace ppsim::verification {
 
@@ -81,6 +93,16 @@ struct FuzzConfig {
   std::uint64_t check_every = 64;  ///< checkpoint (and storm) granularity
   int fault_storms = 0;            ///< storms at random checkpoints
   int faults_per_storm = 0;        ///< set_agent calls per storm
+  /// Scheduler faults (core::SchedulerFaults), applied to every engine lane
+  /// AND replicated in the checker mirror: omission probability per drawn
+  /// interaction (dedicated loss stream, seed ^ core::kLossStreamTag) and
+  /// an optional non-uniform arc distribution (one raw main-stream draw per
+  /// interaction). Active faults force every engine onto its scalar/generic
+  /// path, so the accelerated lanes (B word, D packed, F, G) drop out of
+  /// the matrix — what remains is still a full cross-check of the faulted
+  /// scalar loops against the mirror's independent replay.
+  double loss_p = 0.0;
+  std::vector<double> arc_bias;  ///< empty = uniform; else one weight/arc
 };
 
 struct FuzzReport {
@@ -163,7 +185,12 @@ template <typename P>
 /// protocols (P_OR's coloring) corrupt only their writable variables.
 /// M names a checker adapter to mirror (void = no mirror lane; the mirror
 /// also drops out when the adapter's state space exceeds id capacity).
-template <typename P, typename M = void, typename FaultState>
+/// Topo selects the interaction topology for every engine lane; MirrorTopo
+/// (defaulting to Topo) is the mirror's — letting the canary test prove a
+/// deliberately mis-mapped topology is caught and named as a lane E
+/// divergence (tests/verification/topology_differential_test.cpp).
+template <typename P, typename M = void, typename Topo = core::RingTopology,
+          typename MirrorTopo = Topo, typename FaultState>
 [[nodiscard]] FuzzReport run_differential(
     const typename P::Params& params,
     const std::vector<typename P::State>& initial, const FuzzConfig& cfg,
@@ -175,22 +202,21 @@ template <typename P, typename M = void, typename FaultState>
 
   FuzzReport rep;
   const int n = params.n;
+  const Topo topo(n);
   [[maybe_unused]] const auto arc_count =
-      static_cast<std::uint64_t>(P::directed ? n : 2 * n);
+      static_cast<std::uint64_t>(topo.arc_count(P::directed));
 
   // Lanes A-D, and F for word-kernel protocols.
-  core::Runner<P> lane_a(params, initial, cfg.seed);
-  core::Runner<P> lane_b(params, initial, cfg.seed);
+  core::Runner<P, Topo> lane_a(params, initial, cfg.seed);
+  core::Runner<P, Topo> lane_b(params, initial, cfg.seed);
   lane_b.force_word_path();  // past the small-n engagement gate (see header)
-  core::EnsembleRunner<P> lane_c(params, 1);
+  core::EnsembleRunner<P, Topo> lane_c(params, 1);
   lane_c.force_generic_path();
   lane_c.add_ring(initial, cfg.seed);
-  core::EnsembleRunner<P> lane_d(params, 1);
+  core::EnsembleRunner<P, Topo> lane_d(params, 1);
   lane_d.add_ring(initial, cfg.seed);
-  const bool have_lane_d =
-      lane_d.packed_mode() || lane_d.word_kernel_mode();  // else duplicates C
-  constexpr bool kHaveLaneF = core::Runner<P>::kWordKernel;
-  std::optional<core::Runner<P>> lane_f;  // dead weight otherwise: skip it
+  constexpr bool kHaveLaneF = core::Runner<P, Topo>::kWordKernel;
+  std::optional<core::Runner<P, Topo>> lane_f;  // dead weight otherwise
   if constexpr (kHaveLaneF) {
     lane_f.emplace(params, initial, cfg.seed);
     lane_f->force_scalar_path();
@@ -199,9 +225,9 @@ template <typename P, typename M = void, typename FaultState>
   // decoys exist only to fill a full SIMD group so ring 0 is advanced as a
   // vector column of the cross-ring driver (word-kernel protocols only —
   // for everything else run() degenerates to lane C's per-ring loop).
-  constexpr bool kHaveLaneG = core::Runner<P>::kWordKernel;
+  constexpr bool kHaveLaneG = core::Runner<P, Topo>::kWordKernel;
   constexpr int kLockstepRings = 16;  // >= widest cross-ring group (narrow)
-  std::optional<core::EnsembleRunner<P>> lane_g;
+  std::optional<core::EnsembleRunner<P, Topo>> lane_g;
   if constexpr (kHaveLaneG) {
     lane_g.emplace(params, kLockstepRings);
     lane_g->add_ring(initial, cfg.seed);
@@ -211,12 +237,44 @@ template <typename P, typename M = void, typename FaultState>
                                          static_cast<std::uint64_t>(r)));
   }
 
-  // Lane E: the checker mirror.
+  // Scheduler faults: identical in every engine lane (same loss stream,
+  // same bias table), replicated by hand in the mirror below. Applied
+  // BEFORE have_lane_d is measured — active faults force the generic path,
+  // at which point lane D would only duplicate lane C.
+  core::SchedulerFaults sched;
+  sched.loss_p = cfg.loss_p;
+  sched.arc_weights = cfg.arc_bias;
+  const bool have_sched = sched.active();
+  if (have_sched) {
+    assert(cfg.arc_bias.empty() ||
+           cfg.arc_bias.size() == static_cast<std::size_t>(arc_count));
+    lane_a.set_scheduler_faults(sched);
+    lane_b.set_scheduler_faults(sched);
+    lane_c.set_scheduler_faults(sched);
+    lane_d.set_scheduler_faults(sched);
+    if constexpr (kHaveLaneF) lane_f->set_scheduler_faults(sched);
+    if constexpr (kHaveLaneG) lane_g->set_scheduler_faults(sched);
+  }
+  const bool have_lane_d =
+      lane_d.packed_mode() || lane_d.word_kernel_mode();  // else duplicates C
+
+  // Lane E: the checker mirror. Under scheduler faults it replays the exact
+  // engine semantics: one (possibly biased) arc draw from the main stream
+  // per interaction, then one loss draw from the dedicated stream — a lost
+  // interaction is a no-op that still advances the step count.
   [[maybe_unused]] std::uint64_t mirror_id = 0;
   [[maybe_unused]] core::Xoshiro256pp mirror_rng(cfg.seed);
+  [[maybe_unused]] core::Xoshiro256pp mirror_loss_rng(cfg.seed ^
+                                                      core::kLossStreamTag);
+  [[maybe_unused]] const std::uint64_t mirror_loss_threshold =
+      have_sched ? core::detail::probability_threshold(cfg.loss_p) : 0;
+  [[maybe_unused]] const core::detail::BiasTable mirror_bias =
+      cfg.arc_bias.empty()
+          ? core::detail::BiasTable()
+          : core::detail::BiasTable(std::span<const double>(cfg.arc_bias));
   [[maybe_unused]] auto make_mirror = [&]() {
     if constexpr (kMirrorable) {
-      return core::ModelChecker<M>(params);
+      return core::ModelChecker<M, MirrorTopo>(params);
     } else {
       return 0;
     }
@@ -459,9 +517,16 @@ template <typename P, typename M = void, typename FaultState>
     if constexpr (kHaveLaneG) lane_g->run(block);  // every ring, lockstep
     if constexpr (kMirrorable) {
       if (rep.mirror_lane) {
-        for (std::uint64_t k = 0; k < block; ++k)
-          mirror_id = mirror.successor(
-              mirror_id, static_cast<int>(mirror_rng.bounded(arc_count)));
+        for (std::uint64_t k = 0; k < block; ++k) {
+          const int arc =
+              mirror_bias.empty()
+                  ? static_cast<int>(mirror_rng.bounded(arc_count))
+                  : mirror_bias.draw(mirror_rng);
+          if (mirror_loss_threshold != 0 &&
+              mirror_loss_rng() < mirror_loss_threshold)
+            continue;  // lost interaction: a no-op, exactly as in the engines
+          mirror_id = mirror.successor(mirror_id, arc);
+        }
       }
     }
     done += block;
@@ -502,8 +567,8 @@ template <typename P, typename M = void, typename FaultState>
 /// bit-identical for every thread count (the scheduler-replay determinism
 /// contract). make_init and fault_state are invoked concurrently and must
 /// be stateless or const.
-template <typename P, typename M = void, typename MakeInit,
-          typename FaultState>
+template <typename P, typename M = void, typename Topo = core::RingTopology,
+          typename MirrorTopo = Topo, typename MakeInit, typename FaultState>
 [[nodiscard]] std::vector<FuzzReport> run_differential_campaign(
     const typename P::Params& params, const FuzzConfig& base, int trials,
     int threads, MakeInit&& make_init, FaultState&& fault_state,
@@ -516,7 +581,8 @@ template <typename P, typename M = void, typename MakeInit,
                                  static_cast<std::uint64_t>(t));
     core::Xoshiro256pp cfg_rng(cfg.seed ^ 0xC0FFEEULL);
     const auto initial = make_init(params, cfg_rng);
-    reports[t] = run_differential<P, M>(params, initial, cfg, fault_state);
+    reports[t] = run_differential<P, M, Topo, MirrorTopo>(params, initial,
+                                                          cfg, fault_state);
   });
   return reports;
 }

@@ -160,5 +160,37 @@ TEST(SeqBuilders, ConcatAndRepeat) {
   EXPECT_EQ(rep[8], s[2]);
 }
 
+TEST(SeqBuilders, ZeroLengthSweepsAreEmpty) {
+  // Length 0 is a legal degenerate sweep (Section 2 sequences compose with
+  // j = 0 terms); it must return an empty sequence without reserving.
+  EXPECT_TRUE(seq_r(3, 0, 5).empty());
+  EXPECT_TRUE(seq_l(3, 0, 5).empty());
+}
+
+TEST(SeqBuilders, RepeatEdgeCases) {
+  const std::vector<int> s{1, 2};
+  EXPECT_TRUE(seq_repeat(s, 0).empty());
+  // Repeating an empty sequence any number of times is empty — including
+  // counts whose naive int product s.size() * times would overflow; the
+  // empty guard means the allocator is never consulted.
+  EXPECT_TRUE(seq_repeat({}, 0x7FFFFFFF).empty());
+  const auto once = seq_repeat(s, 1);
+  ASSERT_EQ(once.size(), 2u);
+  EXPECT_EQ(once[0], 1);
+  EXPECT_EQ(once[1], 2);
+}
+
+TEST(SeqBuilders, RepeatReserveArithmeticIsSizeT) {
+  // A large-but-feasible product: 3 * 100000 elements must reserve in
+  // size_t space and come back exact.
+  const std::vector<int> s{7, 8, 9};
+  const int times = 100'000;
+  const auto rep = seq_repeat(s, times);
+  ASSERT_EQ(rep.size(), s.size() * static_cast<std::size_t>(times));
+  EXPECT_EQ(rep.front(), 7);
+  EXPECT_EQ(rep.back(), 9);
+  EXPECT_EQ(rep[rep.size() - 2], 8);
+}
+
 }  // namespace
 }  // namespace ppsim::core
