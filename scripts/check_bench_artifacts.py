@@ -27,6 +27,19 @@ import pathlib
 import subprocess
 import sys
 
+# Registered schema_version of every trajectory artifact. A bench that
+# bumps its schema MUST bump its entry here in the same PR — otherwise the
+# drift is an accident (a field rename silently orphaning every committed
+# trajectory point) and the guard fails. A bench with no entry is also a
+# failure: register it when the bench is introduced.
+KNOWN_SCHEMA_VERSIONS = {
+    "checker": 1,
+    "ensemble": 2,
+    "recovery": 1,
+    "throughput": 2,
+    "topology": 1,
+}
+
 
 def discover_bench_names(repo: pathlib.Path) -> list[str]:
     """Trajectory bench names, from the bench/<name>_json.cpp convention."""
@@ -62,6 +75,16 @@ def schema_errors(path: pathlib.Path, name: str) -> list[str]:
     sv = doc.get("schema_version")
     if not isinstance(sv, int) or sv < 1:
         errs.append(f'"schema_version" is {sv!r}, expected an integer >= 1')
+    elif name not in KNOWN_SCHEMA_VERSIONS:
+        errs.append(
+            f"bench {name!r} has no entry in KNOWN_SCHEMA_VERSIONS — "
+            f"register its schema_version ({sv}) in "
+            f"scripts/check_bench_artifacts.py")
+    elif sv != KNOWN_SCHEMA_VERSIONS[name]:
+        errs.append(
+            f'"schema_version" is {sv}, but {KNOWN_SCHEMA_VERSIONS[name]} '
+            f"is registered — schema drift must update "
+            f"KNOWN_SCHEMA_VERSIONS in the same PR")
     if not isinstance(doc.get("unit"), str) or not doc["unit"]:
         errs.append('"unit" missing or not a non-empty string')
     results = doc.get("results")

@@ -2,7 +2,8 @@
 // seeds, used by every bench harness and the integration tests.
 //
 // Two drivers share one seeding scheme (derive_seed(seed_base, tag, t) per
-// trial, config RNG seeded with seed ^ 0xC0FFEE):
+// trial, config RNG seeded with stream_seed(seed, streams::kConfig) — the
+// stream-tag registry, core/stream_tags.hpp):
 //
 //  * measure_convergence          — the serial driver.
 //  * measure_convergence_parallel — fans work out over a core::ThreadPool.
@@ -33,6 +34,7 @@
 #include "core/rng.hpp"
 #include "core/runner.hpp"
 #include "core/statistics.hpp"
+#include "core/stream_tags.hpp"
 
 namespace ppsim::analysis {
 
@@ -56,7 +58,7 @@ template <typename P, typename ConfigGen, typename Pred>
     std::uint64_t max_steps, std::uint64_t seed_base, std::uint64_t tag,
     std::uint64_t t, std::uint64_t check_every) {
   const std::uint64_t seed = core::derive_seed(seed_base, tag, t);
-  core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
+  core::Xoshiro256pp cfg_rng(core::stream_seed(seed, core::streams::kConfig));
   core::Runner<P> runner(params, gen(cfg_rng), seed);
   return runner.run_until(pred, max_steps, check_every)
       .value_or(core::Runner<P>::npos);
@@ -107,7 +109,7 @@ void ensemble_convergence_shard(const typename P::Params& params,
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t seed = core::derive_seed(
         seed_base, tag, static_cast<std::uint64_t>(first + i));
-    core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
+    core::Xoshiro256pp cfg_rng(core::stream_seed(seed, core::streams::kConfig));
     const auto initial = gen(cfg_rng);
     ensemble.add_ring(initial, seed);
   }

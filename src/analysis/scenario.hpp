@@ -21,8 +21,9 @@
 //   4. run_until(spec.recovered) again — the recovery phase; the recovery
 //      time is the hitting step minus the step of the last injection
 //
-// Determinism: the configuration stream (seed ^ 0xC0FFEE) and the fault
-// stream (seed ^ 0xFA5EED) are decorrelated per trial and independent of the
+// Determinism: the configuration stream (stream_seed(seed,
+// streams::kConfig)) and the fault stream (stream_seed(seed,
+// streams::kFaults)) are decorrelated per trial and independent of the
 // scheduler stream, work is fanned over core::ThreadPool by *index* only,
 // and injections happen at exact step offsets — so campaign results are
 // bit-identical for every thread count (tests/analysis/scenario_test.cpp).
@@ -47,8 +48,9 @@
 // carries an optional core::SchedulerFaults (omission probability and/or
 // biased arc distribution). Faults are applied identically to the
 // standalone-Runner reference path and to every ensemble ring, and the
-// loss stream is derived per trial from the trial seed (seed ^
-// core::kLossStreamTag), so the bit-identity and thread-count-invariance
+// loss stream is derived per trial from the trial seed
+// (stream_seed(seed, core::streams::kLoss)), so the bit-identity and
+// thread-count-invariance
 // contracts above carry over verbatim to faulted campaigns
 // (tests/analysis/topology_campaign_test.cpp).
 #pragma once
@@ -68,6 +70,7 @@
 #include "core/rng.hpp"
 #include "core/runner.hpp"
 #include "core/statistics.hpp"
+#include "core/stream_tags.hpp"
 #include "core/topology.hpp"
 
 namespace ppsim::analysis {
@@ -186,8 +189,9 @@ template <typename P, typename Topo = core::RingTopology>
                                            std::uint64_t t) {
   const TrialPlan& plan = spec.plan;
   const std::uint64_t seed = core::derive_seed(plan.seed_base, plan.tag, t);
-  core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
-  core::Xoshiro256pp fault_rng(seed ^ 0xFA5EED);
+  core::Xoshiro256pp cfg_rng(core::stream_seed(seed, core::streams::kConfig));
+  core::Xoshiro256pp fault_rng(
+      core::stream_seed(seed, core::streams::kFaults));
   core::Runner<P, Topo> runner(params, spec.initial(params, cfg_rng), seed);
   if (spec.sched_faults.active()) runner.set_scheduler_faults(spec.sched_faults);
 
@@ -233,8 +237,8 @@ void ensemble_recovery_shard(const typename P::Params& params,
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t seed = core::derive_seed(
         plan.seed_base, plan.tag, static_cast<std::uint64_t>(first + i));
-    core::Xoshiro256pp cfg_rng(seed ^ 0xC0FFEE);
-    fault_rngs.emplace_back(seed ^ 0xFA5EED);
+    core::Xoshiro256pp cfg_rng(core::stream_seed(seed, core::streams::kConfig));
+    fault_rngs.emplace_back(core::stream_seed(seed, core::streams::kFaults));
     const auto initial = spec.initial(params, cfg_rng);
     ensemble.add_ring(initial, seed);
   }

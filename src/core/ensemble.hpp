@@ -160,7 +160,7 @@ class EnsembleRunner {
     states_.insert(states_.end(), initial.begin(), initial.end());
     rngs_.emplace_back(seed);
     seeds_.push_back(seed);
-    loss_rngs_.emplace_back(seed ^ kLossStreamTag);
+    loss_rngs_.emplace_back(stream_seed(seed, kLossStreamTag));
     RingClock clk;
     clk.oracle_delay = oracle_delay_;
     Engine::recount(initial, params_, clk);
@@ -255,7 +255,8 @@ class EnsembleRunner {
 
   /// Configure the scheduler fault models for every ring, current and
   /// future (see core::SchedulerFaults and Runner::set_scheduler_faults).
-  /// Every ring's loss stream is (re)derived as ring_seed ^ kLossStreamTag,
+  /// Every ring's loss stream is (re)derived as stream_seed(ring_seed,
+  /// kLossStreamTag),
   /// so ring r's faulted trajectory stays bit-identical to a standalone
   /// Runner constructed with the same seed and faults. Active faults
   /// permanently drop the ensemble to the generic path (the accelerated
@@ -270,7 +271,7 @@ class EnsembleRunner {
                                   : detail::BiasTable(f.arc_weights);
     sched_active_ = loss_threshold_ != 0 || !bias_.empty();
     for (std::size_t r = 0; r < seeds_.size(); ++r)
-      loss_rngs_[r] = Xoshiro256pp(seeds_[r] ^ kLossStreamTag);
+      loss_rngs_[r] = Xoshiro256pp(stream_seed(seeds_[r], kLossStreamTag));
     if (sched_active_) force_generic_path();
   }
 

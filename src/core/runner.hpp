@@ -83,6 +83,7 @@
 
 #include "core/ring.hpp"
 #include "core/rng.hpp"
+#include "core/stream_tags.hpp"
 #include "core/topology.hpp"
 #include "core/wordlane.hpp"
 
@@ -105,9 +106,11 @@ struct InteractionContext {
 };
 
 /// Stream-derivation tag for the omission/message-loss stream: a runner
-/// seeded with `seed` draws its loss events from Xoshiro256pp(seed ^
-/// kLossStreamTag), decorrelated from the arc-draw stream.
-inline constexpr std::uint64_t kLossStreamTag = 0x1055ULL;
+/// seeded with `seed` draws its loss events from
+/// Xoshiro256pp(stream_seed(seed, kLossStreamTag)), decorrelated from the
+/// arc-draw stream. The value lives in the stream-tag registry
+/// (core/stream_tags.hpp); this alias keeps the historical name.
+inline constexpr std::uint64_t kLossStreamTag = streams::kLoss;
 
 namespace detail {
 
@@ -1460,7 +1463,8 @@ class Runner {
   }
 
   /// Configure the scheduler fault models (see SchedulerFaults). Resets the
-  /// loss stream to its trial-derived origin (seed ^ kLossStreamTag), so
+  /// loss stream to its trial-derived origin (stream_seed(seed,
+  /// kLossStreamTag)), so
   /// configuring faults then running is deterministic per seed. Active
   /// faults pin the runner to the scalar path permanently.
   void set_scheduler_faults(const SchedulerFaults& f) {
@@ -1471,7 +1475,7 @@ class Runner {
     bias_ = f.arc_weights.empty() ? detail::BiasTable{}
                                   : detail::BiasTable(f.arc_weights);
     sched_active_ = loss_threshold_ != 0 || !bias_.empty();
-    loss_rng_ = Xoshiro256pp(seed_ ^ kLossStreamTag);
+    loss_rng_ = Xoshiro256pp(stream_seed(seed_, kLossStreamTag));
     if (sched_active_) force_scalar_path();
   }
 
@@ -1724,7 +1728,7 @@ class Runner {
   mutable std::vector<State> agents_;
   Xoshiro256pp rng_;
   std::uint64_t seed_ = 0;          ///< origin seed (loss-stream derivation)
-  Xoshiro256pp loss_rng_{0};        ///< omission stream (seed_ ^ kLossStreamTag)
+  Xoshiro256pp loss_rng_{};  ///< placeholder; set_scheduler_faults derives it
   detail::BiasTable bias_;          ///< non-empty = biased arc distribution
   std::uint64_t loss_threshold_ = 0;  ///< 0 = omission model off
   bool sched_active_ = false;         ///< any scheduler fault model on

@@ -58,7 +58,13 @@
 // pos -1, biased token arithmetic never carries out of the pos sub-field),
 // so a packed engine lane never needs per-step validation — out-of-domain
 // states can only *enter* through pack_word, whose clamping round-trip
-// check rejects them at the boundary.
+// check rejects them at the boundary. This argument is MACHINE-CHECKED:
+// pl/packed_certify.hpp abstractly interprets the dataflow below over
+// field intervals (each equality-cap premise, the wrap completeness, the
+// Definition-3.3 normalization range and the token carry/borrow freedom
+// are explicit proof obligations, not assumptions) and static_asserts
+// clamp-freedom for every committed bench regime — editing this kernel in
+// a way that breaks closure fails to compile there before any test runs.
 #pragma once
 
 #include <cstdint>

@@ -20,8 +20,11 @@ struct PlParams {
   int kappa_max = 64; ///< c1 * psi
 
   /// Paper-faithful construction: psi = max(2, ceil(log2 n)) + psi_slack,
-  /// kappa_max = c1 * psi.
-  [[nodiscard]] static PlParams make(int n, int c1 = 32, int psi_slack = 0) {
+  /// kappa_max = c1 * psi. constexpr so parameter regimes can be certified
+  /// at compile time (pl/packed_certify.hpp static_asserts the committed
+  /// bench regimes clamp-free).
+  [[nodiscard]] static constexpr PlParams make(int n, int c1 = 32,
+                                               int psi_slack = 0) {
     if (n < 2) throw std::invalid_argument("PlParams: n must be >= 2");
     if (c1 < 1) throw std::invalid_argument("PlParams: c1 must be >= 1");
     if (psi_slack < 0)

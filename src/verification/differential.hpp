@@ -51,8 +51,9 @@
 // seeded identically and the engines' documented stream identity
 // (bounded == bounded_with_threshold value-for-value) makes the schedules
 // equal by construction — which is exactly the contract being fuzzed.
-// Fault schedules come from a *separate* RNG stream (seed ^ 0xFA5EED, the
-// scenario-engine convention) so storms never perturb the interaction
+// Fault schedules come from a *separate* RNG stream (stream_seed(seed,
+// streams::kFaults), the scenario-engine convention) so storms never
+// perturb the interaction
 // schedule. With fault_storms == 0 the trajectory is independent of
 // check_every (checkpoints only read state) — the quantized-hitting-time
 // contract of analysis/experiment.hpp, pinned by
@@ -83,6 +84,7 @@
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/runner.hpp"
+#include "core/stream_tags.hpp"
 #include "core/topology.hpp"
 
 namespace ppsim::verification {
@@ -233,7 +235,8 @@ template <typename P, typename M = void, typename Topo = core::RingTopology,
     lane_g->add_ring(initial, cfg.seed);
     for (int r = 1; r < kLockstepRings; ++r)
       lane_g->add_ring(initial,
-                       core::derive_seed(cfg.seed, 0x10C5u,
+                       core::derive_seed(cfg.seed,
+                                         core::streams::kLockstepDecoy,
                                          static_cast<std::uint64_t>(r)));
   }
 
@@ -264,8 +267,8 @@ template <typename P, typename M = void, typename Topo = core::RingTopology,
   // interaction is a no-op that still advances the step count.
   [[maybe_unused]] std::uint64_t mirror_id = 0;
   [[maybe_unused]] core::Xoshiro256pp mirror_rng(cfg.seed);
-  [[maybe_unused]] core::Xoshiro256pp mirror_loss_rng(cfg.seed ^
-                                                      core::kLossStreamTag);
+  [[maybe_unused]] core::Xoshiro256pp mirror_loss_rng(
+      core::stream_seed(cfg.seed, core::streams::kLoss));
   [[maybe_unused]] const std::uint64_t mirror_loss_threshold =
       have_sched ? core::detail::probability_threshold(cfg.loss_p) : 0;
   [[maybe_unused]] const core::detail::BiasTable mirror_bias =
@@ -288,7 +291,8 @@ template <typename P, typename M = void, typename Topo = core::RingTopology,
   // Fault stream (decorrelated from the interaction schedules) and storm
   // checkpoints, drawn up front so the whole schedule is a function of the
   // seed alone.
-  core::Xoshiro256pp fault_rng(cfg.seed ^ 0xFA5EEDULL);
+  core::Xoshiro256pp fault_rng(
+      core::stream_seed(cfg.seed, core::streams::kFaults));
   const std::uint64_t check_every =
       cfg.check_every == 0 ? static_cast<std::uint64_t>(n) : cfg.check_every;
   const std::uint64_t num_checkpoints =
@@ -547,7 +551,7 @@ template <typename P, typename M = void, typename Topo = core::RingTopology,
       have_lane_d && (lane_d.packed_mode() || lane_d.word_kernel_mode());
   rep.word_lane = lane_b.word_path_active();
   if constexpr (kHaveLaneG) rep.lockstep_lane = lane_g->word_kernel_mode();
-  std::uint64_t h = detail::mix64(0x5EEDED, lane_a.steps());
+  std::uint64_t h = detail::mix64(core::streams::kDigest, lane_a.steps());
   if constexpr (core::HasLeaderOutput<P>) {
     h = detail::mix64(h, static_cast<std::uint64_t>(lane_a.leader_count()));
   }
@@ -562,8 +566,9 @@ template <typename P, typename M = void, typename Topo = core::RingTopology,
 
 /// Seed-indexed fuzz campaign fanned over a thread pool. Trial t draws its
 /// seed as derive_seed(base.seed, tag, t) and its initial configuration
-/// from make_init(params, rng) with the campaign convention rng(seed ^
-/// 0xC0FFEE) — the pool distributes indices only, so reports are
+/// from make_init(params, rng) with the campaign convention
+/// rng(stream_seed(seed, streams::kConfig)) — the pool distributes indices
+/// only, so reports are
 /// bit-identical for every thread count (the scheduler-replay determinism
 /// contract). make_init and fault_state are invoked concurrently and must
 /// be stateless or const.
@@ -572,14 +577,15 @@ template <typename P, typename M = void, typename Topo = core::RingTopology,
 [[nodiscard]] std::vector<FuzzReport> run_differential_campaign(
     const typename P::Params& params, const FuzzConfig& base, int trials,
     int threads, MakeInit&& make_init, FaultState&& fault_state,
-    std::uint64_t tag = 0xD1FFu) {
+    std::uint64_t tag = core::streams::kDifferentialTrial) {
   std::vector<FuzzReport> reports(static_cast<std::size_t>(trials));
   core::ThreadPool pool(threads);
   pool.for_index(static_cast<std::size_t>(trials), [&](std::size_t t) {
     FuzzConfig cfg = base;
     cfg.seed = core::derive_seed(base.seed, tag,
                                  static_cast<std::uint64_t>(t));
-    core::Xoshiro256pp cfg_rng(cfg.seed ^ 0xC0FFEEULL);
+    core::Xoshiro256pp cfg_rng(
+        core::stream_seed(cfg.seed, core::streams::kConfig));
     const auto initial = make_init(params, cfg_rng);
     reports[t] = run_differential<P, M, Topo, MirrorTopo>(params, initial,
                                                           cfg, fault_state);

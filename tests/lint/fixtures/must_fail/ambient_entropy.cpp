@@ -1,0 +1,14 @@
+// Fixture: every banned ambient-entropy source.
+// ppsim-lint-expect: banned-entropy
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fake {
+inline unsigned bad_seed() {
+  std::random_device rd;                       // banned
+  const auto t = time(nullptr);                // banned
+  std::srand(static_cast<unsigned>(t));        // banned
+  return rd() + static_cast<unsigned>(std::rand());  // banned
+}
+}  // namespace fake

@@ -1,0 +1,9 @@
+// Fixture: a designated replay/fallback path without [[gnu::cold]] — and a
+// registry entry whose function no longer exists (rename drift).
+// ppsim-lint-expect: cold-path
+// ppsim-lint-cold: census_replay_local
+// ppsim-lint-cold: renamed_away_fallback
+
+namespace fake {
+inline void census_replay_local(int) {}  // missing [[gnu::cold]]
+}  // namespace fake

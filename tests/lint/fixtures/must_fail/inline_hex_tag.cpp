@@ -1,0 +1,20 @@
+// Fixture: inline numeric stream tags, both as a derivation argument and
+// as the legacy XOR idiom. ppsim-lint-expect: inline-hex-tag
+#include <cstdint>
+
+namespace fake {
+inline std::uint64_t stream_seed(std::uint64_t s, std::uint64_t t) {
+  return s ^ t;
+}
+inline std::uint64_t derive_seed(std::uint64_t b, std::uint64_t t,
+                                 std::uint64_t i) {
+  return b + t + i;
+}
+
+inline std::uint64_t bad(std::uint64_t seed) {
+  const auto a = stream_seed(seed, 0xC0FFEEULL);    // literal tag
+  const auto b = derive_seed(seed, 0xD1FF, 3);      // literal tag
+  const auto c = seed ^ 0xFA5EEDULL;                // pre-registry idiom
+  return a + b + c;
+}
+}  // namespace fake

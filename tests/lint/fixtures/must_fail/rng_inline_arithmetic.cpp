@@ -1,0 +1,16 @@
+// Fixture: RNG constructed with inline seed arithmetic — an unregistered
+// stream. ppsim-lint-expect: rng-construction
+#include <cstdint>
+
+namespace fake {
+struct Xoshiro256pp {
+  explicit Xoshiro256pp(std::uint64_t = 0) {}
+};
+
+inline void bad(std::uint64_t seed) {
+  Xoshiro256pp offset_rng(seed + 1);  // decorrelation by +1 is not blessed
+  Xoshiro256pp literal_rng(12345);    // literal seed: not derived at all
+  (void)offset_rng;
+  (void)literal_rng;
+}
+}  // namespace fake

@@ -1,0 +1,16 @@
+// Fixture: hash-order iteration feeding a report.
+// ppsim-lint-expect: unordered-iteration
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fake {
+inline std::string report(
+    const std::unordered_map<std::string, int>& results) {
+  std::string out;
+  for (const auto& [name, count] : results) {  // hash order into the report
+    out += name + "=" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+}  // namespace fake

@@ -1,0 +1,58 @@
+// Fixture: every blessed way to construct an RNG stream. Must lint clean.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fake {
+inline std::uint64_t stream_seed(std::uint64_t s, std::uint64_t t) {
+  return s ^ t;
+}
+inline std::uint64_t derive_seed(std::uint64_t b, std::uint64_t t,
+                                 std::uint64_t i) {
+  return b + t + i;
+}
+namespace streams {
+inline constexpr std::uint64_t kConfig = 0xC0FFEEULL;
+inline constexpr std::uint64_t kFaults = 0xFA5EEDULL;
+}  // namespace streams
+
+struct Xoshiro256pp {
+  explicit Xoshiro256pp(std::uint64_t = 0) {}
+  std::uint64_t operator()() { return 4; }
+};
+
+struct Config {
+  std::uint64_t seed = 0;
+};
+
+inline void blessed(std::uint64_t seed, const Config& cfg,
+                    const std::vector<std::uint64_t>& seeds_) {
+  // Derivation through the registry helpers.
+  Xoshiro256pp cfg_rng(stream_seed(seed, streams::kConfig));
+  Xoshiro256pp fault_rng(
+      derive_seed(seed, streams::kFaults, std::uint64_t{3}));
+  // Verbatim seed passthrough: member access and subscripts are fine.
+  Xoshiro256pp mirror_rng(cfg.seed);
+  Xoshiro256pp shard_rng(seeds_[2]);
+  Xoshiro256pp default_rng;
+  std::vector<Xoshiro256pp> loss_rngs_;
+  loss_rngs_.emplace_back(stream_seed(cfg.seed, streams::kFaults));
+  (void)cfg_rng;
+  (void)fault_rng;
+  (void)mirror_rng;
+  (void)shard_rng;
+  (void)default_rng;
+}
+
+// Ordered iteration feeding a report is fine.
+inline int report(const std::map<int, int>& results) {
+  int sum = 0;
+  for (const auto& [k, v] : results) sum += k + v;
+  return sum;
+}
+
+// A designated cold path carrying its attribute.
+// ppsim-lint-cold: replay_divergence
+[[gnu::cold, gnu::noinline]] inline void replay_divergence(int) {}
+
+}  // namespace fake

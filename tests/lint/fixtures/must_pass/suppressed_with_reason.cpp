@@ -1,0 +1,15 @@
+// Fixture: a justified suppression silences exactly its rule. Must lint
+// clean — the unordered iteration below feeds a commutative fold, so hash
+// order cannot change the result.
+#include <unordered_set>
+
+namespace fake {
+
+inline int population(const std::unordered_set<int>& seen) {
+  int count = 0;
+  // Order-insensitive accumulation. ppsim-lint: allow(unordered-iteration)
+  for (int v : seen) count += v > 0 ? 1 : 0;
+  return count;
+}
+
+}  // namespace fake
