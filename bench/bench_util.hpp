@@ -6,9 +6,15 @@
 #include <string>
 #include <vector>
 
+#include "core/json.hpp"
+
 namespace ppsim::bench {
 
 /// Environment-variable override with a default (PPSIM_TRIALS etc.).
+/// Strict parse (core::env_int): a garbled value — PPSIM_TRIALS=1O0 — is a
+/// hard error with exit(2), never a silent 1 or 0. Negatives parse and are
+/// returned verbatim; what a negative means is each knob's business (the
+/// experiment drivers degrade a negative trial count to zero trials).
 [[nodiscard]] int env_int(const char* name, int fallback);
 
 /// Standard ring-size sweep for convergence experiments, capped by
@@ -22,49 +28,10 @@ void banner(const std::string& title, const std::string& paper_ref);
 /// ./<file> when the variable is unset.
 [[nodiscard]] std::string bench_json_path(const std::string& name);
 
-/// Tiny streaming JSON writer for the BENCH_*.json perf-trajectory
-/// artifacts. Handles commas, quoting/escaping and two-space indentation;
-/// structural misuse trips an assert in debug builds. Scope is deliberately
-/// minimal — objects, arrays, strings, bools, int64/uint64/double.
-class JsonWriter {
- public:
-  explicit JsonWriter(std::FILE* out) : out_(out) {}
-
-  JsonWriter(const JsonWriter&) = delete;
-  JsonWriter& operator=(const JsonWriter&) = delete;
-
-  void begin_object();
-  void end_object();
-  void begin_array();
-  void end_array();
-  void key(const char* name);
-
-  void value(const char* s);
-  void value(const std::string& s) { value(s.c_str()); }
-  void value(bool b);
-  void value(double d);
-  void value(std::int64_t v);
-  void value(std::uint64_t v);
-  void value(int v) { value(static_cast<std::int64_t>(v)); }
-
-  /// key + value in one call.
-  template <typename T>
-  void field(const char* name, const T& v) {
-    key(name);
-    value(v);
-  }
-
-  /// Terminates the document with a trailing newline.
-  void finish();
-
- private:
-  void separate();
-  void write_string(const char* s);
-
-  std::FILE* out_;
-  std::vector<char> stack_;     ///< '{' or '[' per open scope
-  bool first_in_scope_ = true;  ///< no comma needed before the next element
-  bool after_key_ = false;      ///< next value belongs to a pending key
-};
+/// Streaming JSON writer for the BENCH_*.json perf-trajectory artifacts.
+/// Now lives in core (src/core/json.hpp) so the campaign service streams
+/// its NDJSON result frames through the same serializer; the alias keeps
+/// every bench harness source-compatible.
+using JsonWriter = core::JsonWriter;
 
 }  // namespace ppsim::bench

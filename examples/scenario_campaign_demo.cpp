@@ -50,13 +50,14 @@ void report(const char* protocol, const typename P::Params& params,
   for (const auto& r : analysis::run_campaign<P>(
            std::span<const std::pair<typename P::Params,
                                      analysis::ScenarioSpec<P>>>(cells))) {
-    std::printf("  %-6s f=%-3d median recovery %10.0f steps  (p90 %10.0f, "
-                "%d/%d healed)\n",
-                r.scenario.c_str(), r.faults, r.stats.recovery.median,
-                r.stats.recovery.p90,
-                r.stats.trials - r.stats.recovery_failures -
-                    r.stats.stabilization_failures,
-                r.stats.trials);
+    std::printf("  %-6s f=%-3lld median recovery %10.0f steps  (p90 %10.0f, "
+                "%lld/%lld healed)\n",
+                r.scenario.c_str(), static_cast<long long>(r.faults),
+                r.stats.recovery.median, r.stats.recovery.p90,
+                static_cast<long long>(r.stats.trials -
+                                       r.stats.recovery_failures -
+                                       r.stats.stabilization_failures),
+                static_cast<long long>(r.stats.trials));
   }
 }
 

@@ -33,6 +33,7 @@ import sys
 # trajectory point) and the guard fails. A bench with no entry is also a
 # failure: register it when the bench is introduced.
 KNOWN_SCHEMA_VERSIONS = {
+    "campaign": 1,
     "checker": 1,
     "ensemble": 2,
     "recovery": 1,

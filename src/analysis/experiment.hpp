@@ -136,7 +136,8 @@ template <typename P, typename ConfigGen, typename Pred>
     const typename P::Params& params, ConfigGen&& gen, Pred&& pred,
     int trials, std::uint64_t max_steps, std::uint64_t seed_base,
     std::uint64_t tag, std::uint64_t check_every = 0) {
-  // Negative counts degrade to zero trials (PPSIM_TRIALS is raw atoi).
+  // Negative counts degrade to zero trials (a negative PPSIM_TRIALS parses
+  // strictly — core/env.hpp — and means "no trials" here).
   std::vector<std::uint64_t> hits(
       static_cast<std::size_t>(std::max(trials, 0)));
   const std::size_t shard = detail::ensemble_shard_rings(

@@ -5,7 +5,7 @@ namespace detail {
 
 RecoveryStats fold_recovery(const std::vector<RecoveryTrial>& trials) {
   RecoveryStats out;
-  out.trials = static_cast<int>(trials.size());
+  out.trials = static_cast<std::int64_t>(trials.size());
   std::vector<std::uint64_t> stab;
   for (const RecoveryTrial& t : trials) {
     if (!t.stabilized) {

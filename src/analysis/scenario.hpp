@@ -99,16 +99,24 @@ struct FaultEvent {
   return s;
 }
 
-[[nodiscard]] inline int total_faults(std::span<const FaultEvent> schedule) {
-  int f = 0;
+/// 64-bit: a storm schedule over a service-scale campaign can carry more
+/// corruptions than `int` holds, and the campaign aggregates it feeds are
+/// 64-bit throughout (per-event counts stay `int` — one burst is bounded by
+/// n).
+[[nodiscard]] inline std::int64_t total_faults(
+    std::span<const FaultEvent> schedule) {
+  std::int64_t f = 0;
   for (const FaultEvent& ev : schedule) f += ev.faults;
   return f;
 }
 
 /// Trial plan shared by every trial of a scenario. `max_steps` budgets the
-/// stabilization phase and the recovery phase separately.
+/// stabilization phase and the recovery phase separately. `trials` is
+/// 64-bit: the resumable campaign service (src/service/campaign.hpp) plans
+/// up to 1e9-trial cells, which must not overflow the plan or the folded
+/// counters (negative values degrade to zero trials).
 struct TrialPlan {
-  int trials = 8;
+  std::int64_t trials = 8;
   std::uint64_t max_steps = 100'000'000;
   std::uint64_t seed_base = 1;
   std::uint64_t tag = 0;
@@ -155,10 +163,12 @@ struct RecoveryTrial {
 
 /// Folded campaign statistics. `raw` holds the recovery times of healed
 /// trials in trial order (failures excluded), mirroring ConvergenceStats.
+/// Counters are 64-bit to match TrialPlan::trials (service-scale campaigns;
+/// values of every committed artifact are unchanged by the widening).
 struct RecoveryStats {
-  int trials = 0;
-  int stabilization_failures = 0;  ///< never reached `recovered` pre-fault
-  int recovery_failures = 0;       ///< stabilized but never healed in budget
+  std::int64_t trials = 0;
+  std::int64_t stabilization_failures = 0;  ///< never `recovered` pre-fault
+  std::int64_t recovery_failures = 0;  ///< stabilized, never healed in budget
   core::Summary recovery;
   core::Summary stabilization;  ///< over trials that stabilized
   std::vector<std::uint64_t> raw;
@@ -297,7 +307,7 @@ template <typename P, typename Topo = core::RingTopology>
 [[nodiscard]] RecoveryStats measure_recovery(
     const typename P::Params& params, const ScenarioSpec<P, Topo>& spec) {
   std::vector<RecoveryTrial> trials(
-      static_cast<std::size_t>(std::max(spec.plan.trials, 0)));
+      static_cast<std::size_t>(std::max<std::int64_t>(spec.plan.trials, 0)));
   core::ThreadPool pool(spec.plan.threads);
   // Same cache-capped, load-balanced sharding as the convergence drivers;
   // output-invisible (trials are seeded by global index).
@@ -317,7 +327,7 @@ template <typename P, typename Topo = core::RingTopology>
 struct CampaignResult {
   std::string scenario;
   int n = 0;
-  int faults = 0;  ///< total faults across the schedule
+  std::int64_t faults = 0;  ///< total faults across the schedule
   RecoveryStats stats;
 };
 

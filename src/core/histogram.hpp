@@ -2,6 +2,7 @@
 // trajectories, signal lifetimes, recovery times).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -30,16 +31,34 @@ class LogHistogram {
   [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
   [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
 
-  /// Approximate quantile from the bucket boundaries (upper bound of the
-  /// bucket containing the q-quantile).
+  /// Bucket-resolution quantile, with the endpoint and rank conventions
+  /// pinned (tests/core/histogram_timeseries_test.cpp):
+  ///
+  ///   * q <= 0 returns min() and q >= 1 returns max() — the exact sample
+  ///     extremes, not bucket bounds. (Before the fix, q = 0 returned the
+  ///     first non-empty bucket's *upper* bound: for a histogram of the
+  ///     single value 4 it answered 7.)
+  ///   * otherwise: let k = ceil(q * count), the 1-indexed rank of the
+  ///     q-quantile. The result is the upper bound of the first bucket whose
+  ///     cumulative count reaches k (cumulative >= k — an exact bucket
+  ///     boundary hit selects the bucket that *contains* the k-th smallest
+  ///     sample, not the next one), clamped into [min(), max()] so a
+  ///     sparsely-filled extreme bucket cannot report a value outside the
+  ///     observed range.
   [[nodiscard]] std::uint64_t quantile(double q) const {
     if (count_ == 0) return 0;
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(count_));
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    auto k = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    k = std::clamp<std::uint64_t>(k, 1, count_);
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
       seen += buckets_[b];
-      if (seen > target) return b == 0 ? 0 : (1ULL << b) - 1;
+      if (seen >= k) {
+        const std::uint64_t hi = b == 0 ? 0 : (1ULL << b) - 1;
+        return std::clamp(hi, min_, max_);
+      }
     }
     return max_;
   }

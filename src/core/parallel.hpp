@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/env.hpp"
+
 namespace ppsim::core {
 
 class ThreadPool {
@@ -52,12 +54,11 @@ class ThreadPool {
   [[nodiscard]] int size() const noexcept { return threads_; }
 
   /// Thread count from PPSIM_THREADS, else hardware_concurrency, else 1.
+  /// Strict parse (core::env_int, exit(2) on garbage); a parsed value <= 0
+  /// means "no override" and falls through to hardware concurrency.
   [[nodiscard]] static int default_threads() {
-    if (const char* v = std::getenv("PPSIM_THREADS");
-        v != nullptr && *v != '\0') {
-      const int t = std::atoi(v);
-      if (t > 0) return t;
-    }
+    const int t = env_int("PPSIM_THREADS", 0);
+    if (t > 0) return t;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
   }

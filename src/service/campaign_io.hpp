@@ -1,0 +1,378 @@
+// Campaign-service persistence: the checkpoint codec, the shard bitmap and
+// the frame sinks (src/service/campaign.hpp is the driver on top).
+//
+// Design constraints, in order:
+//
+//  * Checkpoints are tiny. Every trial is a pure function of its global
+//    index (derive_seed + the stream-tag registry), so a checkpoint never
+//    snapshots simulator state — only WHICH shards finished and the
+//    per-trial results of those shards: a completed-shard bitmap per cell
+//    plus packed 17-byte RecoveryTrial records.
+//
+//  * A checkpoint is either valid or refused. The file carries a magic, a
+//    format version, the campaign-spec digest and a trailing FNV-1a
+//    checksum over everything before it. Loading verifies the checksum
+//    (torn/corrupted file -> kCorrupt), then the digest (checkpoint from a
+//    *different* campaign -> kSpecMismatch). Neither failure ever degrades
+//    to "silently start over" — the caller must decide (the service throws;
+//    tests/service/campaign_service_test.cpp pins both refusals).
+//
+//  * Saves are atomic. The checkpoint is written to `<path>.tmp` and
+//    rename(2)d into place, so a kill -9 at any byte leaves either the
+//    previous complete checkpoint or the new complete one, never a torn
+//    file at the canonical path.
+//
+//  * Encoding is explicit little-endian bytes (not struct memcpy), so a
+//    checkpoint written by any build of this code reads back identically.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+
+namespace ppsim::service {
+
+// --- FNV-1a (64-bit): spec digests and the checkpoint checksum ------------
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a hasher. Used for two independent jobs: the campaign
+/// *spec digest* (folds names, ring sizes, trial plans, schedules — the
+/// resume-compatibility contract) and the checkpoint *content checksum*
+/// (folds the serialized bytes — the corruption detector).
+class Digest {
+ public:
+  void bytes(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h_ ^= p[i];
+      h_ *= kFnvPrime;
+    }
+  }
+  void u64(std::uint64_t v) noexcept {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 8);
+  }
+  void i64(std::int64_t v) noexcept { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) noexcept {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+/// Digest rendered the way frames and logs carry it.
+[[nodiscard]] inline std::string digest_hex(std::uint64_t d) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(d));
+  return std::string(buf);
+}
+
+// --- Completed-shard bitmap -----------------------------------------------
+
+/// Fixed-size bitmap over a cell's shard indices. One bit per shard, 64
+/// shards per word — a million-trial cell at shard width 64 is ~2 KiB.
+class ShardBitmap {
+ public:
+  ShardBitmap() = default;
+  explicit ShardBitmap(std::uint64_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] bool test(std::uint64_t i) const noexcept {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+  void set(std::uint64_t i) noexcept { words_[i / 64] |= 1ULL << (i % 64); }
+  [[nodiscard]] std::uint64_t size() const noexcept { return bits_; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t c = 0;
+    for (std::uint64_t w : words_) {
+      while (w != 0) {
+        w &= w - 1;
+        ++c;
+      }
+    }
+    return c;
+  }
+  [[nodiscard]] bool all() const noexcept { return count() == bits_; }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+  std::vector<std::uint64_t>& words() noexcept { return words_; }
+
+ private:
+  std::uint64_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+// --- Checkpoint document ---------------------------------------------------
+
+/// On-disk format version. Bump on any layout change — an old-version file
+/// is refused as kCorrupt-class (explicitly versioned), never misread.
+inline constexpr std::uint64_t kCheckpointFormat = 1;
+/// "PPCKPT01" as little-endian bytes.
+inline constexpr std::uint64_t kCheckpointMagic = 0x3130'5450'4B43'5050ULL;
+
+/// Progress of one campaign cell: the shard decomposition, the bitmap of
+/// completed shards, and a results slot per trial (meaningful exactly where
+/// the owning shard's bit is set — only those records are serialized).
+struct CellProgress {
+  std::uint64_t trials = 0;
+  std::uint64_t shard_trials = 1;  ///< rings per shard; thread-independent
+  ShardBitmap done;                ///< one bit per shard
+  std::vector<analysis::RecoveryTrial> results;  ///< size = trials
+
+  [[nodiscard]] std::uint64_t shards() const noexcept { return done.size(); }
+  [[nodiscard]] std::uint64_t shard_first(std::uint64_t s) const noexcept {
+    return s * shard_trials;
+  }
+  [[nodiscard]] std::uint64_t shard_count(std::uint64_t s) const noexcept {
+    const std::uint64_t first = shard_first(s);
+    return first >= trials ? 0
+                           : std::min<std::uint64_t>(shard_trials,
+                                                     trials - first);
+  }
+};
+
+/// The whole checkpoint document, in memory.
+struct Checkpoint {
+  std::uint64_t spec_digest = 0;
+  std::uint64_t frame_bytes = 0;  ///< frame-sink offset this checkpoint covers
+  std::vector<CellProgress> cells;
+};
+
+enum class LoadStatus {
+  kLoaded,        ///< checkpoint read and verified
+  kAbsent,        ///< no file at the path (a fresh campaign, not an error)
+  kCorrupt,       ///< bad magic/version/checksum/structure — refuse
+  kSpecMismatch,  ///< valid file for a DIFFERENT campaign spec — refuse
+};
+
+struct LoadResult {
+  LoadStatus status = LoadStatus::kAbsent;
+  Checkpoint checkpoint;
+  std::string error;  ///< human-readable reason for kCorrupt/kSpecMismatch
+};
+
+namespace detail {
+
+/// Byte-buffer writer with explicit little-endian encoding.
+struct ByteSink {
+  std::vector<unsigned char> out;
+  void u8(std::uint8_t v) { out.push_back(v); }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+};
+
+/// Bounds-checked little-endian reader; any overrun flips `ok` sticky-false.
+struct ByteSource {
+  const unsigned char* p = nullptr;
+  std::size_t len = 0;
+  std::size_t at = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (at + 1 > len) {
+      ok = false;
+      return 0;
+    }
+    return p[at++];
+  }
+  std::uint64_t u64() {
+    if (at + 8 > len) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p[at + static_cast<std::size_t>(i)])
+           << (8 * i);
+    at += 8;
+    return v;
+  }
+};
+
+inline void encode_trial(ByteSink& s, const analysis::RecoveryTrial& t) {
+  s.u8(static_cast<std::uint8_t>((t.stabilized ? 1 : 0) |
+                                 (t.healed ? 2 : 0)));
+  s.u64(t.stabilize_steps);
+  s.u64(t.recovery_steps);
+}
+
+inline analysis::RecoveryTrial decode_trial(ByteSource& s) {
+  analysis::RecoveryTrial t;
+  const std::uint8_t flags = s.u8();
+  t.stabilized = (flags & 1) != 0;
+  t.healed = (flags & 2) != 0;
+  t.stabilize_steps = s.u64();
+  t.recovery_steps = s.u64();
+  return t;
+}
+
+}  // namespace detail
+
+/// Serialize a checkpoint to bytes: header, per-cell progress (bitmap +
+/// completed-shard records only), trailing FNV-1a checksum.
+[[nodiscard]] inline std::vector<unsigned char> encode_checkpoint(
+    const Checkpoint& ckpt) {
+  detail::ByteSink s;
+  s.u64(kCheckpointMagic);
+  s.u64(kCheckpointFormat);
+  s.u64(ckpt.spec_digest);
+  s.u64(ckpt.frame_bytes);
+  s.u64(ckpt.cells.size());
+  for (const CellProgress& cell : ckpt.cells) {
+    s.u64(cell.trials);
+    s.u64(cell.shard_trials);
+    s.u64(cell.done.size());
+    for (std::uint64_t w : cell.done.words()) s.u64(w);
+    for (std::uint64_t sh = 0; sh < cell.shards(); ++sh) {
+      if (!cell.done.test(sh)) continue;
+      const std::uint64_t first = cell.shard_first(sh);
+      const std::uint64_t count = cell.shard_count(sh);
+      for (std::uint64_t i = 0; i < count; ++i)
+        detail::encode_trial(
+            s, cell.results[static_cast<std::size_t>(first + i)]);
+    }
+  }
+  Digest sum;
+  sum.bytes(s.out.data(), s.out.size());
+  s.u64(sum.value());
+  return s.out;
+}
+
+/// Decode + verify. `expected_digest` is the running campaign's spec digest;
+/// a checksum-valid checkpoint with a different digest is kSpecMismatch.
+[[nodiscard]] inline LoadResult decode_checkpoint(
+    const unsigned char* data, std::size_t len,
+    std::uint64_t expected_digest) {
+  LoadResult out;
+  out.status = LoadStatus::kCorrupt;
+  if (len < 6 * 8) {
+    out.error = "file shorter than the fixed header";
+    return out;
+  }
+  {  // Checksum first: everything else assumes intact bytes.
+    Digest sum;
+    sum.bytes(data, len - 8);
+    detail::ByteSource tail{data + (len - 8), 8, 0, true};
+    if (sum.value() != tail.u64()) {
+      out.error = "content checksum mismatch (torn or corrupted file)";
+      return out;
+    }
+  }
+  detail::ByteSource s{data, len - 8, 0, true};
+  if (s.u64() != kCheckpointMagic) {
+    out.error = "bad magic (not a ppsim campaign checkpoint)";
+    return out;
+  }
+  if (const std::uint64_t fmt = s.u64(); fmt != kCheckpointFormat) {
+    out.error = "unsupported checkpoint format version " + std::to_string(fmt);
+    return out;
+  }
+  Checkpoint ckpt;
+  ckpt.spec_digest = s.u64();
+  ckpt.frame_bytes = s.u64();
+  const std::uint64_t n_cells = s.u64();
+  if (!s.ok || n_cells > (1ULL << 32)) {
+    out.error = "implausible cell count";
+    return out;
+  }
+  for (std::uint64_t c = 0; c < n_cells && s.ok; ++c) {
+    CellProgress cell;
+    cell.trials = s.u64();
+    cell.shard_trials = s.u64();
+    const std::uint64_t shards = s.u64();
+    if (!s.ok || cell.shard_trials == 0 ||
+        shards != (cell.trials + cell.shard_trials - 1) / cell.shard_trials) {
+      out.error = "inconsistent shard decomposition";
+      return out;
+    }
+    cell.done = ShardBitmap(shards);
+    for (std::uint64_t& w : cell.done.words()) w = s.u64();
+    cell.results.resize(static_cast<std::size_t>(cell.trials));
+    for (std::uint64_t sh = 0; sh < shards && s.ok; ++sh) {
+      if (!cell.done.test(sh)) continue;
+      const std::uint64_t first = cell.shard_first(sh);
+      const std::uint64_t count = cell.shard_count(sh);
+      for (std::uint64_t i = 0; i < count; ++i)
+        cell.results[static_cast<std::size_t>(first + i)] =
+            detail::decode_trial(s);
+    }
+    ckpt.cells.push_back(std::move(cell));
+  }
+  if (!s.ok || s.at != s.len) {
+    out.error = "truncated or oversized payload";
+    return out;
+  }
+  if (ckpt.spec_digest != expected_digest) {
+    out.status = LoadStatus::kSpecMismatch;
+    out.error = "checkpoint is for campaign " + digest_hex(ckpt.spec_digest) +
+                ", this campaign is " + digest_hex(expected_digest) +
+                " — refusing to resume (and refusing to silently restart)";
+    return out;
+  }
+  out.status = LoadStatus::kLoaded;
+  out.checkpoint = std::move(ckpt);
+  return out;
+}
+
+/// Atomic save: write `<path>.tmp`, flush, rename over `path`. Returns
+/// false (with the OS error on stderr) when any step fails.
+[[nodiscard]] inline bool save_checkpoint(const std::string& path,
+                                          const Checkpoint& ckpt) {
+  const std::vector<unsigned char> bytes = encode_checkpoint(ckpt);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    std::perror(("campaign checkpoint: fopen " + tmp).c_str());
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::perror(("campaign checkpoint: commit " + path).c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Load a checkpoint file. A missing file is kAbsent (fresh campaign);
+/// every other failure mode is a refusal with a reason.
+[[nodiscard]] inline LoadResult load_checkpoint(
+    const std::string& path, std::uint64_t expected_digest) {
+  LoadResult out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    out.status = LoadStatus::kAbsent;
+    return out;
+  }
+  std::vector<unsigned char> bytes;
+  unsigned char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + got);
+  std::fclose(f);
+  return decode_checkpoint(bytes.data(), bytes.size(), expected_digest);
+}
+
+}  // namespace ppsim::service
