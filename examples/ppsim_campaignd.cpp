@@ -15,10 +15,16 @@
 //
 // Exit codes: 0 = campaign complete (results written), 3 = paused
 // (PPSIM_CAMPAIGN_STOP shards ran; rerun to continue), 2 = refused a
-// corrupt/foreign checkpoint or inconsistent frame file.
+// corrupt/foreign checkpoint or inconsistent frame file, 4 = degraded
+// (every shard settled but some are quarantined after persistent failure —
+// recorded in the checkpoint; results withheld).
 // Env: PPSIM_THREADS (worker count; never changes any output byte),
 // PPSIM_CAMPAIGN_STOP (stop after that many shards, 0 = run to
-// completion), PPSIM_CKPT_EVERY (frames between checkpoints, default 1).
+// completion), PPSIM_CKPT_EVERY (frames between checkpoints, default 1),
+// PPSIM_FAILPOINTS (failpoint schedules, e.g.
+// "service.file_sink.write=2xeintr;service.ckpt.write=enospc" — the chaos
+// harness scripts/campaign_chaos_check.sh drives this; grammar in
+// core/failpoint.hpp).
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -29,6 +35,7 @@
 #include "analysis/adversary.hpp"
 #include "analysis/scenario.hpp"
 #include "core/env.hpp"
+#include "core/failpoint.hpp"
 #include "pl/params.hpp"
 #include "pl/protocol.hpp"
 #include "service/campaign.hpp"
@@ -84,6 +91,11 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(core::env_int64("PPSIM_CAMPAIGN_STOP", 0), 0));
 
   try {
+    const int armed = core::FailpointRegistry::instance().configure_from_env();
+    if (armed > 0)
+      std::fprintf(stderr, "failpoints: %d site(s) armed via PPSIM_FAILPOINTS\n",
+                   armed);
+
     service::CampaignService<pl::PlProtocol> svc(make_cells(n, trials), opts);
     service::FileFrameSink frames(frames_path);
     std::printf("campaign %s: %llu/%llu shards done, resuming\n",
@@ -99,6 +111,17 @@ int main(int argc, char** argv) {
     if (rep.status == service::RunStatus::kPaused) {
       std::printf("paused; rerun to continue\n");
       return 3;
+    }
+    if (rep.status == service::RunStatus::kDegraded) {
+      std::fprintf(stderr,
+                   "degraded: %llu shard(s) quarantined after persistent "
+                   "failure (recorded in %s); results withheld\n",
+                   static_cast<unsigned long long>(rep.shards_quarantined),
+                   ckpt.c_str());
+      for (const auto& [cell, shard, reason] : svc.quarantine_report())
+        std::fprintf(stderr, "  quarantined cell %u shard %llu: %s\n", cell,
+                     static_cast<unsigned long long>(shard), reason.c_str());
+      return 4;
     }
     const std::string results_path = frames_path + ".results.json";
     std::FILE* f = std::fopen(results_path.c_str(), "w");

@@ -34,6 +34,7 @@ import sys
 # failure: register it when the bench is introduced.
 KNOWN_SCHEMA_VERSIONS = {
     "campaign": 1,
+    "chaos": 1,
     "checker": 1,
     "ensemble": 2,
     "recovery": 1,

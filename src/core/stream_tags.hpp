@@ -71,10 +71,23 @@ inline constexpr std::uint64_t kDifferentialTrial = 0xD1FFULL;
 /// stream tag (verification/differential.hpp).
 inline constexpr std::uint64_t kDigest = 0x5EEDEDULL;
 
+/// Probabilistic failpoint firing stream: a `p<permille>@<seed>` schedule
+/// unit draws from Xoshiro256pp(stream_seed(seed, kFailpoint)) — same seed,
+/// same injected-fault pattern, decorrelated from every simulation stream
+/// (core/failpoint.hpp).
+inline constexpr std::uint64_t kFailpoint = 0xFA17ULL;
+
+/// Retry-backoff jitter stream: service::RetryState draws its exponential-
+/// backoff jitter from Xoshiro256pp(stream_seed(policy.seed, kRetryJitter)),
+/// so retry timing is reproducible and never touches an engine stream
+/// (service/retry.hpp). Jitter affects wall clock only, never output bytes.
+inline constexpr std::uint64_t kRetryJitter = 0xB0FFULL;
+
 /// Every registered tag, for the structural checks below and for the
 /// runtime mirror in tests/core/stream_tags_test.cpp. Append new tags here.
 inline constexpr std::uint64_t kAll[] = {
-    kConfig, kFaults, kLoss, kLockstepDecoy, kDifferentialTrial, kDigest,
+    kConfig,        kFaults,    kLoss,        kLockstepDecoy,
+    kDifferentialTrial, kDigest, kFailpoint, kRetryJitter,
 };
 inline constexpr int kCount = static_cast<int>(sizeof(kAll) / sizeof(kAll[0]));
 

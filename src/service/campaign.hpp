@@ -48,16 +48,20 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -65,16 +69,16 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/scenario.hpp"
+#include "core/failpoint.hpp"
 #include "core/json.hpp"
 #include "core/parallel.hpp"
 #include "service/campaign_io.hpp"
+#include "service/retry.hpp"
 
 namespace ppsim::service {
 
-/// Refusal to resume (corrupt/foreign checkpoint, inconsistent frame file).
-struct CheckpointError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+// CheckpointError lives in service/campaign_io.hpp (the codec throws it on
+// injected non-transient failures); re-exported here via the include.
 
 /// Frame-stream version, stamped into every frame. Bump on any change to
 /// the frame schema (README "Campaign service").
@@ -121,9 +125,16 @@ class MemoryFrameSink final : public FrameSink {
 /// The file is opened without truncation so a resume keeps the
 /// already-emitted prefix; truncate_to() then trims any frames written
 /// after the last checkpoint (including a torn final line from kill -9).
+///
+/// Self-healing: every fwrite/fflush/ftruncate retries EINTR in place
+/// (bounded by kEintrStormLimit), resumes short writes at the moved
+/// cursor, and backs off on transient_errno failures under `retry` before
+/// throwing CheckpointError. Failpoint sites: service.file_sink.{write,
+/// flush,truncate}.
 class FileFrameSink final : public FrameSink {
  public:
-  explicit FileFrameSink(const std::string& path) {
+  explicit FileFrameSink(const std::string& path, RetryPolicy retry = {})
+      : retry_(retry) {
     f_ = std::fopen(path.c_str(), "r+b");
     if (f_ == nullptr) f_ = std::fopen(path.c_str(), "w+b");
     if (f_ == nullptr)
@@ -138,19 +149,97 @@ class FileFrameSink final : public FrameSink {
   }
 
   void write(const char* data, std::size_t len) override {
-    if (std::fwrite(data, 1, len, f_) != len)
-      throw CheckpointError("short write to frame file");
-    off_ += len;
+    RetryState retry(retry_);
+    int spins = 0;
+    while (len > 0) {
+      std::size_t want = len;
+      const core::FailOutcome fo =
+          core::failpoint(core::failpoints::kFileSinkWrite);
+      if (fo.action == core::FailAction::kThrow)
+        throw CheckpointError("failpoint: frame file write aborted");
+      errno = 0;
+      std::size_t put = 0;
+      if (fo.action == core::FailAction::kErrno) {
+        errno = fo.err;
+      } else {
+        if (fo.action == core::FailAction::kShortWrite)
+          want = std::max<std::size_t>(
+              1,
+              std::min<std::size_t>(want, static_cast<std::size_t>(fo.arg)));
+        put = std::fwrite(data, 1, want, f_);
+      }
+      if (put > 0) {
+        data += put;
+        len -= put;
+        off_ += put;
+        spins = 0;
+        retry.reset();
+        continue;
+      }
+      std::clearerr(f_);
+      if (errno == EINTR && ++spins < kEintrStormLimit) continue;
+      if (transient_errno(errno) && retry.backoff()) continue;
+      throw CheckpointError(std::string("frame file write failed: ") +
+                            std::strerror(errno));
+    }
   }
-  void flush() override { std::fflush(f_); }
+  void flush() override {
+    RetryState retry(retry_);
+    int spins = 0;
+    for (;;) {
+      const core::FailOutcome fo =
+          core::failpoint(core::failpoints::kFileSinkFlush);
+      if (fo.action == core::FailAction::kThrow)
+        throw CheckpointError("failpoint: frame file flush aborted");
+      errno = 0;
+      int r = 0;
+      if (fo.action == core::FailAction::kErrno) {
+        errno = fo.err;
+        r = EOF;
+      } else {
+        r = std::fflush(f_);
+      }
+      if (r == 0) return;
+      std::clearerr(f_);
+      if (errno == EINTR && ++spins < kEintrStormLimit) continue;
+      if (transient_errno(errno) && retry.backoff()) {
+        spins = 0;
+        continue;
+      }
+      throw CheckpointError(std::string("frame file flush failed: ") +
+                            std::strerror(errno));
+    }
+  }
   void truncate_to(std::uint64_t offset) override {
-    std::fflush(f_);
+    flush();
     if (off_ < offset)
       throw CheckpointError(
           "frame file shorter than the checkpoint's frame offset — the "
           "frame file does not belong to this checkpoint");
-    if (::ftruncate(fileno(f_), static_cast<off_t>(offset)) != 0)
-      throw CheckpointError("ftruncate on frame file failed");
+    RetryState retry(retry_);
+    int spins = 0;
+    for (;;) {
+      const core::FailOutcome fo =
+          core::failpoint(core::failpoints::kFileSinkTruncate);
+      if (fo.action == core::FailAction::kThrow)
+        throw CheckpointError("failpoint: frame file truncate aborted");
+      errno = 0;
+      int r = 0;
+      if (fo.action == core::FailAction::kErrno) {
+        errno = fo.err;
+        r = -1;
+      } else {
+        r = ::ftruncate(fileno(f_), static_cast<off_t>(offset));
+      }
+      if (r == 0) break;
+      if (errno == EINTR && ++spins < kEintrStormLimit) continue;
+      if (transient_errno(errno) && retry.backoff()) {
+        spins = 0;
+        continue;
+      }
+      throw CheckpointError(std::string("ftruncate on frame file failed: ") +
+                            std::strerror(errno));
+    }
     std::fseek(f_, static_cast<long>(offset), SEEK_SET);
     off_ = offset;
   }
@@ -159,6 +248,7 @@ class FileFrameSink final : public FrameSink {
  private:
   std::FILE* f_ = nullptr;
   std::uint64_t off_ = 0;
+  RetryPolicy retry_;
 };
 
 /// Raw-descriptor sink (Unix socket, pipe, stdout). Cannot rewind:
@@ -166,17 +256,56 @@ class FileFrameSink final : public FrameSink {
 /// socket is at-least-once (see FrameSink). Writes loop over partial
 /// ::write()s, so a full socket buffer blocks here — and through the
 /// emitter window, blocks the whole campaign: backpressure end to end.
+///
+/// EINTR and EAGAIN/EWOULDBLOCK are retried in place rather than aborting
+/// the campaign. Caveat: the sink expects a BLOCKING descriptor — on a
+/// non-blocking fd EAGAIN means "buffer full", which this sink handles by
+/// a bounded 1 ms sleep-and-retry loop (kEintrStormLimit iterations ≈ 1 s),
+/// not by polling; wire a poll()-based sink if you need real non-blocking
+/// backpressure. Failpoint site: service.fd_sink.write.
 class FdFrameSink final : public FrameSink {
  public:
   explicit FdFrameSink(int fd) : fd_(fd) {}
 
   void write(const char* data, std::size_t len) override {
+    int spins = 0;
     while (len > 0) {
-      const ssize_t put = ::write(fd_, data, len);
-      if (put < 0) throw CheckpointError("write to frame descriptor failed");
-      data += put;
-      len -= static_cast<std::size_t>(put);
-      off_ += static_cast<std::uint64_t>(put);
+      std::size_t want = len;
+      const core::FailOutcome fo =
+          core::failpoint(core::failpoints::kFdSinkWrite);
+      if (fo.action == core::FailAction::kThrow)
+        throw CheckpointError("failpoint: frame descriptor write aborted");
+      ssize_t put = 0;
+      if (fo.action == core::FailAction::kErrno) {
+        errno = fo.err;
+        put = -1;
+      } else {
+        if (fo.action == core::FailAction::kShortWrite)
+          want = std::max<std::size_t>(
+              1,
+              std::min<std::size_t>(want, static_cast<std::size_t>(fo.arg)));
+        put = ::write(fd_, data, want);
+      }
+      if (put > 0) {
+        data += put;
+        len -= static_cast<std::size_t>(put);
+        off_ += static_cast<std::uint64_t>(put);
+        spins = 0;
+        continue;
+      }
+      const int e = put < 0 ? errno : 0;
+      if (put == 0 || e == EINTR || e == EAGAIN || e == EWOULDBLOCK) {
+        if (++spins >= kEintrStormLimit)
+          throw CheckpointError(
+              "frame descriptor write: EINTR/EAGAIN storm — descriptor "
+              "never made progress");
+        if (e != EINTR)
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      throw CheckpointError(
+          std::string("write to frame descriptor failed: ") +
+          std::strerror(e));
     }
   }
   void truncate_to(std::uint64_t offset) override { off_ = offset; }
@@ -189,6 +318,16 @@ class FdFrameSink final : public FrameSink {
 
 // --- In-order frame emission with bounded in-flight window ----------------
 
+/// What a worker hands the emitter per shard: either the rendered NDJSON
+/// frame, or a quarantine verdict (zero bytes emitted — the emission cursor
+/// still advances, so the surviving frame stream stays a byte-exact prefix
+/// order of the fault-free stream and resume byte-identity holds).
+struct Frame {
+  std::string bytes;
+  bool quarantined = false;
+  std::string reason;  ///< meaningful when quarantined
+};
+
 /// Reorders worker-completed frames back into submission-index order and
 /// bounds how far computation may run ahead of emission. submit(k, ...)
 /// blocks while k >= next_ + window — the backpressure edge — then emission
@@ -197,11 +336,11 @@ class FdFrameSink final : public FrameSink {
 class FrameEmitter {
  public:
   FrameEmitter(FrameSink& sink, std::size_t window,
-               std::function<void(std::uint64_t)> on_emit)
+               std::function<void(std::uint64_t, const Frame&)> on_emit)
       : sink_(sink), window_(std::max<std::size_t>(1, window)),
         on_emit_(std::move(on_emit)) {}
 
-  void submit(std::uint64_t index, std::string frame) {
+  void submit(std::uint64_t index, Frame frame) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return failed_ || index < next_ + window_; });
     // Poisoned: a sink/checkpoint failure means the frame at the emission
@@ -214,9 +353,11 @@ class FrameEmitter {
     try {
       for (auto it = buffer_.find(next_); it != buffer_.end();
            it = buffer_.find(next_)) {
-        sink_.write(it->second.data(), it->second.size());
+        if (!it->second.bytes.empty())
+          sink_.write(it->second.bytes.data(), it->second.bytes.size());
+        const Frame emitted_frame = std::move(it->second);
         buffer_.erase(it);
-        on_emit_(next_);
+        on_emit_(next_, emitted_frame);
         ++next_;
         cv_.notify_all();
       }
@@ -227,15 +368,26 @@ class FrameEmitter {
     }
   }
 
+  /// Poison from OUTSIDE submit(): a worker that fails before it can
+  /// submit (abort-class shard failure) must still release every peer
+  /// blocked on the reorder window — a frame that will never arrive must
+  /// not stall the cursor forever. Blocked submitters wake and throw; the
+  /// pool then rethrows the original exception. Never a hang.
+  void poison() {
+    std::lock_guard<std::mutex> lock(mu_);
+    failed_ = true;
+    cv_.notify_all();
+  }
+
   [[nodiscard]] std::uint64_t emitted() const noexcept { return next_; }
 
  private:
   FrameSink& sink_;
   std::size_t window_;
-  std::function<void(std::uint64_t)> on_emit_;
+  std::function<void(std::uint64_t, const Frame&)> on_emit_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::uint64_t, std::string> buffer_;  ///< ordered; window-bounded
+  std::map<std::uint64_t, Frame> buffer_;  ///< ordered; window-bounded
   std::uint64_t next_ = 0;  ///< submission index the sink emits next
   bool failed_ = false;     ///< sink/checkpoint failure; campaign aborting
 };
@@ -263,11 +415,21 @@ struct CampaignOptions {
   /// n are not generically introspectable, so campaigns that vary them
   /// (e.g. a c1 sweep) should fold those knobs in here.
   std::uint64_t extra_digest = 0;
+  /// Attempts per shard before a TransientError-throwing shard is
+  /// quarantined (recorded in the checkpoint, campaign continues degraded).
+  int shard_max_attempts = 3;
+  /// Backoff policy for transient checkpoint-save/-load failures and for
+  /// the delay between shard attempts. Jitter timing never touches any
+  /// output byte (service/retry.hpp).
+  RetryPolicy retry;
 };
 
 enum class RunStatus {
   kComplete,  ///< every shard of every cell is done; results() is valid
   kPaused,    ///< stop_after_shards hit; checkpointed, resume with run()
+  kDegraded,  ///< every shard settled but some are quarantined — partial
+              ///< frame stream, results() refused, quarantine recorded in
+              ///< the checkpoint for the operator
 };
 
 struct RunReport {
@@ -275,6 +437,7 @@ struct RunReport {
   std::uint64_t shards_run = 0;    ///< frames emitted by this run()
   std::uint64_t shards_done = 0;   ///< cumulative, including prior runs
   std::uint64_t shards_total = 0;  ///< whole campaign
+  std::uint64_t shards_quarantined = 0;  ///< cumulative quarantined shards
   std::uint64_t frame_bytes = 0;   ///< frame-sink offset after this run()
 };
 
@@ -295,7 +458,11 @@ class CampaignService {
       // Cache-capped and thread-count-INDEPENDENT: determinism piece 1.
       p.shard_trials = analysis::detail::ensemble_shard_rings(
           static_cast<std::size_t>(params.n) * sizeof(typename P::State));
-      p.done = ShardBitmap((p.trials + p.shard_trials - 1) / p.shard_trials);
+      const std::uint64_t shards =
+          (p.trials + p.shard_trials - 1) / p.shard_trials;
+      p.done = ShardBitmap(shards);
+      p.quarantined = ShardBitmap(shards);
+      p.quarantine_reasons.resize(static_cast<std::size_t>(shards));
       p.results.resize(static_cast<std::size_t>(p.trials));
       progress_.push_back(std::move(p));
     }
@@ -315,9 +482,33 @@ class CampaignService {
     for (const CellProgress& p : progress_) t += p.done.count();
     return t;
   }
+  [[nodiscard]] std::uint64_t shards_quarantined() const noexcept {
+    std::uint64_t t = 0;
+    for (const CellProgress& p : progress_) t += p.quarantined.count();
+    return t;
+  }
+  /// Quarantined (cell, shard, reason) triples, for operator reporting.
+  [[nodiscard]] std::vector<std::tuple<std::uint32_t, std::uint64_t,
+                                       std::string>>
+  quarantine_report() const {
+    std::vector<std::tuple<std::uint32_t, std::uint64_t, std::string>> out;
+    for (std::uint32_t c = 0; c < progress_.size(); ++c)
+      for (std::uint64_t s = 0; s < progress_[c].shards(); ++s)
+        if (progress_[c].quarantined.test(s))
+          out.emplace_back(c, s,
+                           progress_[c]
+                               .quarantine_reasons[static_cast<std::size_t>(s)]);
+    return out;
+  }
   [[nodiscard]] bool complete() const noexcept {
     for (const CellProgress& p : progress_)
       if (!p.done.all()) return false;
+    return true;
+  }
+  /// Every shard either done or quarantined — nothing left to run.
+  [[nodiscard]] bool settled() const noexcept {
+    for (const CellProgress& p : progress_)
+      if (p.settled() < p.shards()) return false;
     return true;
   }
 
@@ -333,18 +524,27 @@ class CampaignService {
     std::vector<ShardRef> pending;
     for (std::uint32_t c = 0; c < progress_.size(); ++c)
       for (std::uint64_t s = 0; s < progress_[c].shards(); ++s)
-        if (!progress_[c].done.test(s)) pending.push_back({c, s});
+        if (!progress_[c].done.test(s) && !progress_[c].quarantined.test(s))
+          pending.push_back({c, s});
     if (opts_.stop_after_shards > 0 &&
         pending.size() > opts_.stop_after_shards)
       pending.resize(static_cast<std::size_t>(opts_.stop_after_shards));
 
     std::uint64_t since_checkpoint = 0;
     FrameEmitter emitter(
-        sink, opts_.max_inflight_frames, [&](std::uint64_t k) {
+        sink, opts_.max_inflight_frames,
+        [&](std::uint64_t k, const Frame& fr) {
           // Under the emitter lock, in emission order — the only writer of
-          // the done bitmap while workers run.
+          // the done/quarantined bitmaps while workers run.
           const ShardRef ref = pending[static_cast<std::size_t>(k)];
-          progress_[ref.cell].done.set(ref.shard);
+          if (fr.quarantined) {
+            progress_[ref.cell].quarantined.set(ref.shard);
+            progress_[ref.cell]
+                .quarantine_reasons[static_cast<std::size_t>(ref.shard)] =
+                fr.reason;
+          } else {
+            progress_[ref.cell].done.set(ref.shard);
+          }
           if (!opts_.checkpoint_path.empty() &&
               ++since_checkpoint >= opts_.checkpoint_every_shards) {
             since_checkpoint = 0;
@@ -355,9 +555,25 @@ class CampaignService {
 
     core::ThreadPool pool(opts_.threads);
     pool.for_index(pending.size(), [&](std::size_t k) {
-      const ShardRef ref = pending[k];
-      run_shard(ref.cell, ref.shard);
-      emitter.submit(k, render_frame(ref.cell, ref.shard));
+      try {
+        const ShardRef ref = pending[k];
+        Frame frame;
+        std::string reason;
+        if (run_shard_with_retry(ref.cell, ref.shard, reason)) {
+          frame.bytes = render_frame(ref.cell, ref.shard);
+        } else {
+          frame.quarantined = true;
+          frame.reason = std::move(reason);
+        }
+        emitter.submit(k, std::move(frame));
+      } catch (...) {
+        // An abort-class failure anywhere in the worker (not just inside
+        // submit) poisons the emitter so peers blocked on the reorder
+        // window unwind instead of waiting on a frame that will never
+        // arrive.
+        emitter.poison();
+        throw;
+      }
     });
 
     sink.flush();
@@ -368,14 +584,21 @@ class CampaignService {
     rep.shards_run = emitter.emitted();
     rep.shards_done = shards_done();
     rep.shards_total = shards_total();
+    rep.shards_quarantined = shards_quarantined();
     rep.frame_bytes = frame_bytes_;
-    rep.status = complete() ? RunStatus::kComplete : RunStatus::kPaused;
+    rep.status = complete()  ? RunStatus::kComplete
+                 : settled() ? RunStatus::kDegraded
+                             : RunStatus::kPaused;
     return rep;
   }
 
   /// Folded per-cell campaign results — exactly run_campaign's output for
   /// the same cells. Only valid once complete().
   [[nodiscard]] std::vector<analysis::CampaignResult> results() const {
+    if (shards_quarantined() > 0)
+      throw CheckpointError(
+          "campaign results requested with quarantined shards — the "
+          "campaign is degraded, not complete (see quarantine_report())");
     if (!complete())
       throw CheckpointError(
           "campaign results requested before every shard completed");
@@ -401,6 +624,41 @@ class CampaignService {
         params, spec, static_cast<std::size_t>(p.shard_first(shard)),
         static_cast<std::size_t>(p.shard_count(shard)),
         std::span<analysis::RecoveryTrial>(p.results));
+  }
+
+  /// Run one shard with the transient-failure contract: a TransientError
+  /// (including an errno-class outcome of the service.worker.shard
+  /// failpoint) is retried up to shard_max_attempts with backoff; on
+  /// exhaustion the shard is reported for quarantine (return false,
+  /// `reason` set). Any other exception propagates — abort-class. A
+  /// retried shard recomputes the exact same RecoveryTrial records (a
+  /// trial is a pure function of its global index), so retries never
+  /// change an output byte.
+  [[nodiscard]] bool run_shard_with_retry(std::uint32_t cell,
+                                          std::uint64_t shard,
+                                          std::string& reason) {
+    RetryPolicy pol = opts_.retry;
+    pol.max_attempts = std::max(1, opts_.shard_max_attempts);
+    RetryState retry(pol);
+    for (;;) {
+      try {
+        const core::FailOutcome fo =
+            core::failpoint(core::failpoints::kWorkerShard);
+        if (fo.action == core::FailAction::kThrow)
+          throw CheckpointError("failpoint: shard worker aborted");
+        if (fo.action == core::FailAction::kErrno)
+          throw TransientError(
+              "failpoint: injected transient shard failure (errno " +
+              std::to_string(fo.err) + ")");
+        run_shard(cell, shard);
+        return true;
+      } catch (const TransientError& e) {
+        if (!retry.backoff()) {
+          reason = e.what();
+          return false;
+        }
+      }
+    }
   }
 
   /// One NDJSON frame: a pure function of (spec, shard results), so a
@@ -485,6 +743,8 @@ class CampaignService {
       to.trials = from.trials;
       to.shard_trials = from.shard_trials;
       to.done = from.done;
+      to.quarantined = from.quarantined;
+      to.quarantine_reasons = from.quarantine_reasons;
       to.results.resize(from.results.size());
       for (std::uint64_t sh = 0; sh < from.shards(); ++sh) {
         if (!from.done.test(sh)) continue;
@@ -495,14 +755,25 @@ class CampaignService {
               from.results[static_cast<std::size_t>(first + i)];
       }
     }
-    if (!save_checkpoint(opts_.checkpoint_path, ckpt))
-      throw CheckpointError("cannot write checkpoint " +
-                            opts_.checkpoint_path);
+    // Transient save failures (ENOSPC, EIO — injected or real) back off
+    // and retry the whole idempotent save before giving up.
+    RetryState retry(opts_.retry);
+    while (!save_checkpoint(opts_.checkpoint_path, ckpt))
+      if (!retry.backoff())
+        throw CheckpointError("cannot write checkpoint " +
+                              opts_.checkpoint_path);
   }
 
   void resume_or_start(FrameSink& sink) {
     if (!opts_.checkpoint_path.empty()) {
-      LoadResult lr = load_checkpoint(opts_.checkpoint_path, digest_);
+      // kIoError is a disk hiccup, not a verdict about the file: retry the
+      // read with backoff before refusing.
+      RetryState retry(opts_.retry);
+      LoadResult lr;
+      for (;;) {
+        lr = load_checkpoint(opts_.checkpoint_path, digest_);
+        if (lr.status != LoadStatus::kIoError || !retry.backoff()) break;
+      }
       switch (lr.status) {
         case LoadStatus::kLoaded: {
           if (lr.checkpoint.cells.size() != progress_.size())
@@ -511,7 +782,8 @@ class CampaignService {
           for (std::size_t c = 0; c < progress_.size(); ++c) {
             const CellProgress& from = lr.checkpoint.cells[c];
             if (from.trials != progress_[c].trials ||
-                from.shard_trials != progress_[c].shard_trials)
+                from.shard_trials != progress_[c].shard_trials ||
+                from.quarantined.size() != progress_[c].shards())
               throw CheckpointError(
                   "checkpoint shard decomposition does not match the "
                   "campaign (same digest, inconsistent shape)");
@@ -525,6 +797,9 @@ class CampaignService {
         case LoadStatus::kCorrupt:
         case LoadStatus::kSpecMismatch:
           throw CheckpointError("refusing checkpoint " +
+                                opts_.checkpoint_path + ": " + lr.error);
+        case LoadStatus::kIoError:
+          throw CheckpointError("checkpoint read keeps failing " +
                                 opts_.checkpoint_path + ": " + lr.error);
       }
     }

@@ -26,15 +26,29 @@
 //    checkpoint written by any build of this code reads back identically.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "analysis/scenario.hpp"
+#include "core/failpoint.hpp"
+#include "service/retry.hpp"
 
 namespace ppsim::service {
+
+/// Refusal to resume (corrupt/foreign checkpoint, inconsistent frame file)
+/// and the abort-class outcome of a kThrow failpoint on any service I/O
+/// path. Declared here (not campaign.hpp) because the codec's injected
+/// non-transient failures throw it too.
+struct CheckpointError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 // --- FNV-1a (64-bit): spec digests and the checkpoint checksum ------------
 
@@ -123,7 +137,9 @@ class ShardBitmap {
 
 /// On-disk format version. Bump on any layout change — an old-version file
 /// is refused as kCorrupt-class (explicitly versioned), never misread.
-inline constexpr std::uint64_t kCheckpointFormat = 1;
+/// v2: per-cell quarantined-shard bitmap + reason strings (graceful
+/// degradation under persistent shard failure).
+inline constexpr std::uint64_t kCheckpointFormat = 2;
 /// "PPCKPT01" as little-endian bytes.
 inline constexpr std::uint64_t kCheckpointMagic = 0x3130'5450'4B43'5050ULL;
 
@@ -133,10 +149,21 @@ inline constexpr std::uint64_t kCheckpointMagic = 0x3130'5450'4B43'5050ULL;
 struct CellProgress {
   std::uint64_t trials = 0;
   std::uint64_t shard_trials = 1;  ///< rings per shard; thread-independent
-  ShardBitmap done;                ///< one bit per shard
+  ShardBitmap done;                ///< one bit per shard: results valid
+  /// One bit per shard: persistently failing shard, retried
+  /// shard_max_attempts times and then recorded here instead of aborting
+  /// the campaign (disjoint from `done` — a shard is done, quarantined, or
+  /// pending). Quarantined shards emit no frame and block results().
+  ShardBitmap quarantined;
+  /// Reason per shard; meaningful exactly where `quarantined` is set (only
+  /// those entries are serialized). Size = shards.
+  std::vector<std::string> quarantine_reasons;
   std::vector<analysis::RecoveryTrial> results;  ///< size = trials
 
   [[nodiscard]] std::uint64_t shards() const noexcept { return done.size(); }
+  [[nodiscard]] std::uint64_t settled() const noexcept {
+    return done.count() + quarantined.count();
+  }
   [[nodiscard]] std::uint64_t shard_first(std::uint64_t s) const noexcept {
     return s * shard_trials;
   }
@@ -160,6 +187,8 @@ enum class LoadStatus {
   kAbsent,        ///< no file at the path (a fresh campaign, not an error)
   kCorrupt,       ///< bad magic/version/checksum/structure — refuse
   kSpecMismatch,  ///< valid file for a DIFFERENT campaign spec — refuse
+  kIoError,       ///< fread failed mid-file (std::ferror) — an I/O failure,
+                  ///< NOT a corruption verdict; the caller may retry
 };
 
 struct LoadResult {
@@ -177,6 +206,10 @@ struct ByteSink {
   void u64(std::uint64_t v) {
     for (int i = 0; i < 8; ++i)
       out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    out.insert(out.end(), s.begin(), s.end());
   }
 };
 
@@ -205,6 +238,19 @@ struct ByteSource {
            << (8 * i);
     at += 8;
     return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    // Quarantine reasons are short human strings; an implausible length is
+    // a corruption symptom, not a reason to allocate gigabytes.
+    if (!ok || n > (1ULL << 16) || at + n > len) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p + at),
+                  static_cast<std::size_t>(n));
+    at += static_cast<std::size_t>(n);
+    return s;
   }
 };
 
@@ -242,6 +288,20 @@ inline analysis::RecoveryTrial decode_trial(ByteSource& s) {
     s.u64(cell.shard_trials);
     s.u64(cell.done.size());
     for (std::uint64_t w : cell.done.words()) s.u64(w);
+    // Normalize an unsized quarantine bitmap (a CellProgress built before
+    // any quarantine happened) to the shard count so the layout is fixed.
+    const ShardBitmap empty_q(cell.quarantined.size() == cell.done.size()
+                                  ? 0
+                                  : cell.done.size());
+    const ShardBitmap& q =
+        cell.quarantined.size() == cell.done.size() ? cell.quarantined
+                                                    : empty_q;
+    for (std::uint64_t w : q.words()) s.u64(w);
+    for (std::uint64_t sh = 0; sh < cell.shards(); ++sh)
+      if (q.test(sh))
+        s.str(sh < cell.quarantine_reasons.size()
+                  ? cell.quarantine_reasons[static_cast<std::size_t>(sh)]
+                  : std::string());
     for (std::uint64_t sh = 0; sh < cell.shards(); ++sh) {
       if (!cell.done.test(sh)) continue;
       const std::uint64_t first = cell.shard_first(sh);
@@ -306,6 +366,17 @@ inline analysis::RecoveryTrial decode_trial(ByteSource& s) {
     }
     cell.done = ShardBitmap(shards);
     for (std::uint64_t& w : cell.done.words()) w = s.u64();
+    cell.quarantined = ShardBitmap(shards);
+    for (std::uint64_t& w : cell.quarantined.words()) w = s.u64();
+    cell.quarantine_reasons.resize(static_cast<std::size_t>(shards));
+    for (std::uint64_t sh = 0; sh < shards && s.ok; ++sh) {
+      if (cell.done.test(sh) && cell.quarantined.test(sh)) {
+        out.error = "shard both completed and quarantined";
+        return out;
+      }
+      if (cell.quarantined.test(sh))
+        cell.quarantine_reasons[static_cast<std::size_t>(sh)] = s.str();
+    }
     cell.results.resize(static_cast<std::size_t>(cell.trials));
     for (std::uint64_t sh = 0; sh < shards && s.ok; ++sh) {
       if (!cell.done.test(sh)) continue;
@@ -333,31 +404,183 @@ inline analysis::RecoveryTrial decode_trial(ByteSource& s) {
   return out;
 }
 
-/// Atomic save: write `<path>.tmp`, flush, rename over `path`. Returns
-/// false (with the OS error on stderr) when any step fails.
+namespace detail {
+
+/// Directory component of `path` for the post-rename directory fsync
+/// ("" and bare filenames live in ".").
+[[nodiscard]] inline std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+/// fsync with an EINTR spin bounded by kEintrStormLimit (hang prevention
+/// under an adversarial `*xeintr` schedule; see service/retry.hpp).
+[[nodiscard]] inline bool fsync_eintr(int fd) {
+  for (int spins = 0; spins < kEintrStormLimit; ++spins) {
+    if (::fsync(fd) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+  return false;
+}
+
+/// Evaluate a checkpoint-site failpoint, consuming injected EINTRs in
+/// place (bounded) — EINTR is always retry-for-free, even when injected at
+/// a site whose real syscall loops internally. Returns the first
+/// non-EINTR outcome.
+[[nodiscard]] inline core::FailOutcome ckpt_failpoint(const char* site) {
+  for (int spins = 0;; ++spins) {
+    const core::FailOutcome fo = core::failpoint(site);
+    if (fo.action == core::FailAction::kErrno && fo.err == EINTR &&
+        spins < kEintrStormLimit)
+      continue;
+    return fo;
+  }
+}
+
+}  // namespace detail
+
+/// Durable atomic save: write `<path>.tmp`, fflush + fsync the file, rename
+/// over `path`, then fsync the parent directory — so a *committed*
+/// checkpoint survives power loss, not just process death (rename alone
+/// orders the replacement but does not persist the directory entry).
+/// Returns false (with the OS error on stderr) when any step fails; EINTR
+/// is retried in place and never surfaces as a failure. Safe to retry
+/// wholesale — every step is idempotent. A kThrow failpoint outcome at any
+/// site throws CheckpointError (the non-transient injection class).
 [[nodiscard]] inline bool save_checkpoint(const std::string& path,
                                           const Checkpoint& ckpt) {
   const std::vector<unsigned char> bytes = encode_checkpoint(ckpt);
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+
+  std::FILE* f = nullptr;
+  if (const core::FailOutcome fo = core::failpoint(core::failpoints::kCkptOpen);
+      fo.fired() && fo.action != core::FailAction::kDelay) {
+    if (fo.action == core::FailAction::kThrow)
+      throw CheckpointError("failpoint: non-transient checkpoint I/O failure injected");
+    errno = fo.err != 0 ? fo.err : EIO;
+  } else {
+    f = std::fopen(tmp.c_str(), "wb");
+  }
   if (f == nullptr) {
     std::perror(("campaign checkpoint: fopen " + tmp).c_str());
     return false;
   }
-  const bool wrote =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
-      std::fflush(f) == 0;
+
+  // Write loop: EINTR retried in place, injected short writes resume at
+  // the moved cursor, any other failure abandons the tmp file (the caller
+  // owns backoff/retry of the whole save).
+  bool ok = true;
+  std::size_t put = 0;
+  int spins = 0;
+  while (put < bytes.size()) {
+    std::size_t want = bytes.size() - put;
+    const core::FailOutcome fo =
+        core::failpoint(core::failpoints::kCkptWrite);
+    if (fo.action == core::FailAction::kThrow) {
+      std::fclose(f);
+      std::remove(tmp.c_str());
+      throw CheckpointError("failpoint: non-transient checkpoint I/O failure injected");
+    }
+    errno = 0;
+    std::size_t got = 0;
+    if (fo.action == core::FailAction::kErrno) {
+      errno = fo.err;
+    } else {
+      if (fo.action == core::FailAction::kShortWrite)
+        want = std::max<std::size_t>(
+            1, std::min<std::size_t>(want, static_cast<std::size_t>(fo.arg)));
+      got = std::fwrite(bytes.data() + put, 1, want, f);
+    }
+    if (got > 0) {
+      put += got;
+      spins = 0;
+      continue;
+    }
+    std::clearerr(f);
+    if (errno == EINTR && ++spins < kEintrStormLimit) continue;
+    ok = false;
+    break;
+  }
+
+  // Durability barrier: libc buffer -> page cache (fflush), page cache ->
+  // storage (fsync), BEFORE the rename makes the file the checkpoint.
+  if (ok && std::fflush(f) != 0) ok = false;
+  if (ok) {
+    const core::FailOutcome fo =
+        detail::ckpt_failpoint(core::failpoints::kCkptFsync);
+    if (fo.action == core::FailAction::kThrow) {
+      std::fclose(f);
+      std::remove(tmp.c_str());
+      throw CheckpointError("failpoint: non-transient checkpoint I/O failure injected");
+    }
+    if (fo.action == core::FailAction::kErrno) {
+      errno = fo.err;
+      ok = false;
+    } else {
+      ok = detail::fsync_eintr(fileno(f));
+    }
+  }
   std::fclose(f);
-  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::perror(("campaign checkpoint: commit " + path).c_str());
+  if (!ok) {
+    std::perror(("campaign checkpoint: write " + tmp).c_str());
     std::remove(tmp.c_str());
     return false;
+  }
+
+  {
+    const core::FailOutcome fo =
+        detail::ckpt_failpoint(core::failpoints::kCkptRename);
+    if (fo.action == core::FailAction::kThrow) {
+      std::remove(tmp.c_str());
+      throw CheckpointError("failpoint: non-transient checkpoint I/O failure injected");
+    }
+    if (fo.action == core::FailAction::kErrno) {
+      errno = fo.err;
+      ok = false;
+    } else {
+      int spins2 = 0;
+      while ((ok = std::rename(tmp.c_str(), path.c_str()) == 0) == false &&
+             errno == EINTR && ++spins2 < kEintrStormLimit) {
+      }
+    }
+    if (!ok) {
+      std::perror(("campaign checkpoint: commit " + path).c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+
+  // The rename is only durable once the parent directory's entry is on
+  // storage. A failure here fails the save; the retry re-runs the whole
+  // (idempotent) sequence.
+  {
+    const core::FailOutcome fo =
+        detail::ckpt_failpoint(core::failpoints::kCkptDirFsync);
+    if (fo.action == core::FailAction::kThrow)
+      throw CheckpointError("failpoint: non-transient checkpoint I/O failure injected");
+    if (fo.action == core::FailAction::kErrno) {
+      errno = fo.err;
+      ok = false;
+    } else {
+      const std::string dir = detail::parent_dir(path);
+      const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+      ok = dfd >= 0 && detail::fsync_eintr(dfd);
+      if (dfd >= 0) ::close(dfd);
+    }
+    if (!ok) {
+      std::perror(("campaign checkpoint: fsync dir of " + path).c_str());
+      return false;
+    }
   }
   return true;
 }
 
-/// Load a checkpoint file. A missing file is kAbsent (fresh campaign);
-/// every other failure mode is a refusal with a reason.
+/// Load a checkpoint file. A missing file is kAbsent (fresh campaign); a
+/// mid-file read error (std::ferror — NOT a short file, which the codec
+/// judges) is kIoError so the caller can retry instead of refusing a file
+/// that is merely behind a flaky disk; every other failure mode is a
+/// refusal with a reason. EINTR is retried in place.
 [[nodiscard]] inline LoadResult load_checkpoint(
     const std::string& path, std::uint64_t expected_digest) {
   LoadResult out;
@@ -368,9 +591,43 @@ inline analysis::RecoveryTrial decode_trial(ByteSource& s) {
   }
   std::vector<unsigned char> bytes;
   unsigned char buf[4096];
-  std::size_t got = 0;
-  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
-    bytes.insert(bytes.end(), buf, buf + got);
+  int spins = 0;
+  for (;;) {
+    const core::FailOutcome fo = core::failpoint(core::failpoints::kCkptRead);
+    if (fo.action == core::FailAction::kThrow) {
+      std::fclose(f);
+      throw CheckpointError("failpoint: non-transient checkpoint I/O failure injected");
+    }
+    errno = 0;
+    std::size_t want = sizeof buf;
+    std::size_t got = 0;
+    bool injected = false;
+    if (fo.action == core::FailAction::kErrno) {
+      errno = fo.err;
+      injected = true;
+    } else {
+      if (fo.action == core::FailAction::kShortWrite)
+        want = std::max<std::size_t>(
+            1, std::min<std::size_t>(want, static_cast<std::size_t>(fo.arg)));
+      got = std::fread(buf, 1, want, f);
+    }
+    if (got > 0) {
+      bytes.insert(bytes.end(), buf, buf + got);
+      spins = 0;
+      continue;
+    }
+    if (injected || std::ferror(f) != 0) {
+      std::clearerr(f);
+      if (errno == EINTR && ++spins < kEintrStormLimit) continue;
+      out.status = LoadStatus::kIoError;
+      out.error = "read error on checkpoint file (errno " +
+                  std::to_string(errno) +
+                  ") — an I/O failure, not a corruption verdict";
+      std::fclose(f);
+      return out;
+    }
+    break;  // clean EOF
+  }
   std::fclose(f);
   return decode_checkpoint(bytes.data(), bytes.size(), expected_digest);
 }

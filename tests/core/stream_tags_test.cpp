@@ -36,7 +36,9 @@ TEST(StreamTags, RegisteredValuesArePinned) {
   EXPECT_EQ(streams::kLockstepDecoy, 0x10C5ULL);
   EXPECT_EQ(streams::kDifferentialTrial, 0xD1FFULL);
   EXPECT_EQ(streams::kDigest, 0x5EEDEDULL);
-  EXPECT_EQ(streams::kCount, 6);
+  EXPECT_EQ(streams::kFailpoint, 0xFA17ULL);
+  EXPECT_EQ(streams::kRetryJitter, 0xB0FFULL);
+  EXPECT_EQ(streams::kCount, 8);
   EXPECT_EQ(kLossStreamTag, streams::kLoss);
 }
 
